@@ -1,0 +1,79 @@
+// Ablation — uniform vs biased path sampling for HyperNet training.
+// Paper §III.D: "applying a uniform sampling strategy to HyperNet training
+// plays a vital role in reflecting the true accuracy relation between
+// models"; biased sampling trains some edges far more than others and
+// confuses the ranking.  We train two HyperNets at CPU scale that differ
+// only in the path-sampling distribution and compare how well their
+// inherited-weight scores rank K sub-models against standalone training.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "nn/trainer.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace yoso;
+  Stopwatch sw;
+  bench_banner("Ablation", "uniform vs biased HyperNet path sampling");
+
+  SynthCifar task(10, 10, 7);
+  const Dataset train = task.generate(24, 1);
+  const Dataset val = task.generate(8, 2);
+  const NetworkSkeleton skeleton = tiny_skeleton(10, 8);
+  const int k = static_cast<int>(scaled(6, 4));
+
+  TrainOptions opt;
+  opt.epochs = static_cast<int>(scaled(8, 3));
+  opt.batch_size = 24;
+
+  // The K probe sub-models and their standalone ("true") accuracies are
+  // shared by both arms.
+  Rng probe_rng(13);
+  std::vector<Genotype> probes;
+  std::vector<double> truth;
+  for (int i = 0; i < k; ++i) {
+    probes.push_back(random_genotype(probe_rng));
+    PathNetwork standalone(skeleton, 500 + static_cast<std::uint64_t>(i));
+    TrainOptions sopt;
+    sopt.epochs = static_cast<int>(scaled(4, 2));
+    sopt.batch_size = 24;
+    Rng srng(900 + static_cast<std::uint64_t>(i));
+    const auto logs =
+        train_standalone(standalone, probes.back(), train, val, sopt, srng);
+    truth.push_back(logs.back().val_accuracy);
+  }
+
+  struct Arm {
+    const char* name;
+    PathSampler sampler;
+  };
+  const Arm arms[] = {{"uniform (paper)", uniform_path_sampler},
+                      {"biased (ablation)", biased_path_sampler}};
+
+  TextTable table({"sampling", "Spearman vs standalone", "Pearson",
+                   "mean |proxy - truth|"});
+  for (const Arm& arm : arms) {
+    PathNetwork hypernet(skeleton, 2021);
+    Rng rng(31);
+    train_hypernet(hypernet, train, val, opt, rng, arm.sampler);
+    std::vector<double> proxy;
+    double abs_gap = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const double acc = hypernet.evaluate(probes[static_cast<std::size_t>(i)],
+                                           val, 24);
+      proxy.push_back(acc);
+      abs_gap += std::abs(acc - truth[static_cast<std::size_t>(i)]);
+    }
+    table.add_row({arm.name, TextTable::fmt(spearman(proxy, truth), 3),
+                   TextTable::fmt(pearson(proxy, truth), 3),
+                   TextTable::fmt(abs_gap / k, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpectation (paper §III.D): uniform sampling ranks "
+               "sub-models more faithfully than biased sampling; at this "
+               "miniature scale the gap is noisy but uniform should not "
+               "lose decisively.\n";
+  bench_footer(sw);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Shared scaffolding for the experiment benches.  Every bench binary prints
+// a banner, runs at a CPU-friendly default scale, and grows linearly with
+// the YOSO_SCALE environment variable (YOSO_SCALE=4 approaches the paper's
+// raw sample/iteration counts where that is meaningful).
+
+#include <iostream>
+#include <string>
+
+#include "util/env.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace yoso {
+
+inline void bench_banner(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << title << "\n"
+            << "scale: YOSO_SCALE=" << experiment_scale()
+            << " (set YOSO_SCALE>1 for paper-scale runs)\n"
+            << "================================================================\n";
+}
+
+inline void bench_footer(const Stopwatch& sw) {
+  std::cout << "[bench completed in " << TextTable::fmt(sw.elapsed_seconds(), 1)
+            << " s]\n";
+}
+
+}  // namespace yoso

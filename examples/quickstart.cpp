@@ -1,0 +1,70 @@
+// Quickstart: the whole YOSO pipeline in ~60 lines.
+//
+//  1. Describe the joint design space (40 DNN actions + 4 hardware actions).
+//  2. Build the fast evaluator (Step 1): simulate a few hundred random
+//     co-designs and fit the GP performance predictors.
+//  3. Run the RL co-search (Step 2) under a multi-objective reward.
+//  4. Rerank the top candidates with the accurate evaluator (Step 3) and
+//     print the winning network + accelerator configuration.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/search.h"
+#include "util/table.h"
+
+int main() {
+  using namespace yoso;
+
+  // 1. The joint co-design space from the paper (Table 1 hardware ranges,
+  //    NASNet-style cell space for the DNN).
+  DesignSpace space;
+  const NetworkSkeleton skeleton = default_skeleton();
+  std::cout << "joint design space: 10^" << TextTable::fmt(space.log10_size(), 1)
+            << " candidates, " << space.num_actions() << " actions\n";
+
+  // 2. Step 1 — fast evaluator: GP predictors trained on simulator samples,
+  //    plus the HyperNet-style accuracy proxy.
+  SystolicSimulator simulator({}, SimFidelity::kCycleLevel);
+  std::cout << "building fast evaluator (sampling the simulator)...\n";
+  FastEvaluator fast(space, skeleton, simulator,
+                     {.predictor_samples = 400, .seed = 1});
+
+  // 3. Step 2 — RL search with the balanced composite reward
+  //    (thresholds: 9 mJ, 1.2 ms).
+  SearchOptions options;
+  options.iterations = 1500;
+  options.top_n = 10;
+  options.reward = balanced_reward();
+  options.seed = 42;
+  std::cout << "searching (" << options.iterations << " iterations, reward "
+            << options.reward.to_string() << ")...\n";
+
+  // 4. Step 3 — accurate reranking of the finalists.
+  AccurateEvaluator accurate(skeleton);
+  YosoSearch search(space, options);
+  const SearchResult result = search.run(fast, &accurate);
+
+  const RankedCandidate& best = result.best.value();
+  std::cout << "\n=== final co-design ===\n"
+            << "network:      " << to_string(best.candidate.genotype) << "\n"
+            << "accelerator:  " << best.candidate.config.to_string() << "\n"
+            << "test error:   "
+            << TextTable::fmt((1.0 - best.accurate_result.accuracy) * 100.0, 2)
+            << " %\n"
+            << "energy:       "
+            << TextTable::fmt(best.accurate_result.energy_mj, 2) << " mJ\n"
+            << "latency:      "
+            << TextTable::fmt(best.accurate_result.latency_ms, 2) << " ms\n"
+            << "feasible:     " << (best.feasible ? "yes" : "no")
+            << "  (thresholds: 9 mJ, 1.2 ms)\n";
+
+  const auto stats =
+      network_stats(extract_layers(best.candidate.genotype, skeleton));
+  std::cout << "network size: " << stats.total_macs / 1000000 << " MMACs, "
+            << stats.total_params / 1000 << " k params, " << stats.num_layers
+            << " layers\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Transferability demo (paper: "This framework is easily transferable to
+// different applications").  The same co-search machinery is pointed at a
+// *different* application profile without touching framework code:
+//
+//   task A — "camera preview": 32x32 inputs, balanced latency/energy;
+//   task B — "always-on audio-event detector": narrower network skeleton,
+//     much stricter energy budget, relaxed latency.
+//
+// Only the skeleton and reward change; Step 1 (predictor fitting) is redone
+// per task because the layer statistics shift with the skeleton.
+
+#include <iostream>
+
+#include "core/search.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace yoso;
+
+struct TaskSpec {
+  std::string name;
+  NetworkSkeleton skeleton;
+  RewardParams reward;
+};
+
+void run_task(const TaskSpec& task, TextTable& table) {
+  DesignSpace space;
+  SystolicSimulator simulator({}, SimFidelity::kCycleLevel);
+  FastEvaluator fast(space, task.skeleton, simulator,
+                     {.predictor_samples = 400, .seed = 5});
+  AccurateEvaluator accurate(task.skeleton);
+
+  SearchOptions options;
+  options.iterations = 1200;
+  options.reward = task.reward;
+  options.seed = 11;
+  const SearchResult result =
+      YosoSearch(space, options).run(fast, &accurate);
+  const RankedCandidate& best = result.best.value();
+  const auto stats =
+      network_stats(extract_layers(best.candidate.genotype, task.skeleton));
+  table.add_row(
+      {task.name,
+       TextTable::fmt((1.0 - best.accurate_result.accuracy) * 100.0, 2),
+       TextTable::fmt(best.accurate_result.energy_mj, 2),
+       TextTable::fmt(best.accurate_result.latency_ms, 2),
+       TextTable::fmt_int(stats.total_macs / 1000000),
+       best.candidate.config.to_string(), best.feasible ? "yes" : "no"});
+}
+
+}  // namespace
+
+int main() {
+  TaskSpec camera;
+  camera.name = "camera preview";
+  camera.skeleton = default_skeleton();  // 32x32, 6 cells
+  camera.reward = balanced_reward();
+
+  TaskSpec audio;
+  audio.name = "always-on audio";
+  audio.skeleton = default_skeleton();
+  audio.skeleton.input_height = 24;  // smaller spectrogram-like inputs
+  audio.skeleton.input_width = 24;
+  audio.skeleton.stem_channels = 16;
+  audio.reward = energy_opt_reward();
+  audio.reward.t_eer_mj = 3.0;   // strict: always-on power budget
+  audio.reward.t_lat_ms = 4.0;   // relaxed: no frame deadline
+
+  TextTable table({"task", "err %", "E (mJ)", "L (ms)", "MMACs",
+                   "config", "feasible"});
+  std::cout << "re-targeting the identical framework at two applications...\n";
+  run_task(camera, table);
+  run_task(audio, table);
+  table.print(std::cout);
+  std::cout << "\nexpectation: the audio task's tight energy budget pulls "
+               "the co-search toward a leaner network and a smaller, "
+               "lower-leakage accelerator than the camera task — with zero "
+               "framework changes.\n";
+  return 0;
+}

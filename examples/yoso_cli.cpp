@@ -1,0 +1,184 @@
+// Command-line driver for the full framework: choose the search strategy,
+// reward preset, thresholds and budget, and optionally dump the iteration
+// trace / finalist table as CSV for plotting.
+//
+//   ./build/examples/yoso_cli --searcher rl --reward energy
+//       --iterations 3000 --seed 7 --trace trace.csv --finalists top.csv
+//
+// Flags (all optional):
+//   --searcher   rl | random | evolution | bayes        [rl]
+//   --reward     balanced | energy | latency            [balanced]
+//   --iterations N                                      [2000]
+//   --samples    N   (GP training samples, Step 1)      [500]
+//   --top-n      N   (finalists for Step-3 rerank)      [10]
+//   --seed       N                                      [7]
+//   --t-lat      X   latency threshold, ms              [1.2]
+//   --t-eer      X   energy threshold, mJ               [9.0]
+//   --trace      FILE  write iteration trace CSV
+//   --finalists  FILE  write finalist CSV
+//   --report     FILE  write a markdown design report for the winner
+//   --rtl        FILE  write a SystemVerilog skeleton of the winning config
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "accel/area.h"
+#include "accel/rtl_export.h"
+#include "core/alt_search.h"
+#include "core/report.h"
+#include "core/search.h"
+#include "core/serialize.h"
+#include "core/trace_io.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace yoso;
+
+struct CliOptions {
+  std::string searcher = "rl";
+  std::string reward = "balanced";
+  std::size_t iterations = 2000;
+  std::size_t samples = 500;
+  std::size_t top_n = 10;
+  std::uint64_t seed = 7;
+  double t_lat = 1.2;
+  double t_eer = 9.0;
+  std::string trace_file;
+  std::string finalists_file;
+  std::string report_file;
+  std::string rtl_file;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "yoso_cli: " << message
+            << "\nsee the header comment of examples/yoso_cli.cpp for flags\n";
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opt;
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage_error("unexpected argument " + key);
+    if (i + 1 >= argc) usage_error("missing value for " + key);
+    kv[key.substr(2)] = argv[++i];
+  }
+  for (const auto& [key, value] : kv) {
+    try {
+      if (key == "searcher") opt.searcher = value;
+      else if (key == "reward") opt.reward = value;
+      else if (key == "iterations") opt.iterations = std::stoul(value);
+      else if (key == "samples") opt.samples = std::stoul(value);
+      else if (key == "top-n") opt.top_n = std::stoul(value);
+      else if (key == "seed") opt.seed = std::stoull(value);
+      else if (key == "t-lat") opt.t_lat = std::stod(value);
+      else if (key == "t-eer") opt.t_eer = std::stod(value);
+      else if (key == "trace") opt.trace_file = value;
+      else if (key == "finalists") opt.finalists_file = value;
+      else if (key == "report") opt.report_file = value;
+      else if (key == "rtl") opt.rtl_file = value;
+      else usage_error("unknown flag --" + key);
+    } catch (const std::exception&) {
+      usage_error("bad value '" + value + "' for --" + key);
+    }
+  }
+  return opt;
+}
+
+RewardParams pick_reward(const CliOptions& opt) {
+  RewardParams reward;
+  if (opt.reward == "balanced") reward = balanced_reward();
+  else if (opt.reward == "energy") reward = energy_opt_reward();
+  else if (opt.reward == "latency") reward = latency_opt_reward();
+  else usage_error("unknown reward preset '" + opt.reward + "'");
+  reward.t_lat_ms = opt.t_lat;
+  reward.t_eer_mj = opt.t_eer;
+  return reward;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_args(argc, argv);
+
+  DesignSpace space;
+  const NetworkSkeleton skeleton = default_skeleton();
+  SystolicSimulator simulator({}, SimFidelity::kCycleLevel);
+
+  std::cout << "[1/3] building the fast evaluator (" << cli.samples
+            << " simulator samples)...\n";
+  FastEvaluator fast(space, skeleton, simulator,
+                     {.predictor_samples = cli.samples, .seed = cli.seed});
+  AccurateEvaluator accurate(skeleton);
+
+  SearchOptions options;
+  options.iterations = cli.iterations;
+  options.top_n = cli.top_n;
+  options.reward = pick_reward(cli);
+  options.seed = cli.seed;
+
+  std::cout << "[2/3] running " << cli.searcher << " search ("
+            << cli.iterations << " iterations, "
+            << options.reward.to_string() << ")...\n";
+  SearchResult result;
+  if (cli.searcher == "rl") {
+    result = YosoSearch(space, options).run(fast, &accurate);
+  } else if (cli.searcher == "random") {
+    result = RandomSearchDriver(space, options).run(fast, &accurate);
+  } else if (cli.searcher == "evolution") {
+    result = EvolutionarySearch(space, options).run(fast, &accurate);
+  } else if (cli.searcher == "bayes") {
+    result = BayesOptSearch(space, options).run(fast, &accurate);
+  } else {
+    usage_error("unknown searcher '" + cli.searcher + "'");
+  }
+
+  std::cout << "[3/3] results\n\n";
+  TextTable table({"rank", "err %", "E (mJ)", "L (ms)", "area (mm2)",
+                   "feasible", "config"});
+  for (std::size_t i = 0; i < result.finalists.size(); ++i) {
+    const RankedCandidate& f = result.finalists[i];
+    table.add_row(
+        {TextTable::fmt_int(static_cast<long long>(i)),
+         TextTable::fmt((1.0 - f.accurate_result.accuracy) * 100.0, 2),
+         TextTable::fmt(f.accurate_result.energy_mj, 2),
+         TextTable::fmt(f.accurate_result.latency_ms, 2),
+         TextTable::fmt(total_area_mm2(f.candidate.config), 2),
+         f.feasible ? "yes" : "no", f.candidate.config.to_string()});
+  }
+  table.print(std::cout);
+
+  if (result.best) {
+    std::cout << "\nwinning design:\n  "
+              << serialize_candidate(result.best->candidate) << "\n";
+  }
+  if (!cli.trace_file.empty()) {
+    std::ofstream os(cli.trace_file);
+    if (!os) usage_error("cannot open " + cli.trace_file);
+    write_trace_csv(os, result);
+    std::cout << "trace written to " << cli.trace_file << "\n";
+  }
+  if (!cli.finalists_file.empty()) {
+    std::ofstream os(cli.finalists_file);
+    if (!os) usage_error("cannot open " + cli.finalists_file);
+    write_finalists_csv(os, result);
+    std::cout << "finalists written to " << cli.finalists_file << "\n";
+  }
+  if (!cli.report_file.empty() && result.best) {
+    std::ofstream os(cli.report_file);
+    if (!os) usage_error("cannot open " + cli.report_file);
+    os << render_design_report(result, skeleton, options.reward);
+    std::cout << "design report written to " << cli.report_file << "\n";
+  }
+  if (!cli.rtl_file.empty() && result.best) {
+    std::ofstream os(cli.rtl_file);
+    if (!os) usage_error("cannot open " + cli.rtl_file);
+    os << export_systolic_rtl(result.best->candidate.config);
+    std::cout << "RTL skeleton written to " << cli.rtl_file << "\n";
+  }
+  return 0;
+}

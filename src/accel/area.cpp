@@ -1,0 +1,24 @@
+#include "accel/area.h"
+
+namespace yoso {
+
+AreaBreakdown estimate_area(const AcceleratorConfig& config,
+                            const AreaParams& params) {
+  AreaBreakdown a;
+  const double pes = config.num_pes();
+  a.pe_mm2 = pes * params.pe_um2 * 1e-6;
+  a.rbuf_mm2 = pes * config.r_buf_bytes * params.rbuf_um2_per_byte * 1e-6;
+  a.gbuf_mm2 = config.g_buf_kb * params.gbuf_um2_per_kb * 1e-6;
+  a.mux_mm2 = pes * params.dataflow_mux_um2_per_pe * 1e-6;
+  const double logic = a.pe_mm2 + a.rbuf_mm2 + a.gbuf_mm2 + a.mux_mm2;
+  a.routing_mm2 = logic * params.routing_overhead;
+  a.total_mm2 = logic + a.routing_mm2;
+  return a;
+}
+
+double total_area_mm2(const AcceleratorConfig& config,
+                      const AreaParams& params) {
+  return estimate_area(config, params).total_mm2;
+}
+
+}  // namespace yoso

@@ -1,0 +1,41 @@
+#pragma once
+// First-order silicon area model for the systolic-array template.
+//
+// The paper searches PE-array and buffer sizes without an explicit area
+// constraint; real accelerator sign-off adds one.  This model estimates the
+// area of a configuration from per-component densities typical of a 28 nm
+// node (16-bit MAC PEs, 6T SRAM macros, register files) plus a routing /
+// NoC overhead factor, giving the co-search an optional area budget and the
+// benches an extra column.
+
+#include "accel/config.h"
+
+namespace yoso {
+
+struct AreaParams {
+  // 28 nm-class densities.
+  double pe_um2 = 950.0;            ///< 16-bit MAC + pipeline + control
+  double rbuf_um2_per_byte = 4.0;   ///< register-file cells (per PE)
+  double gbuf_um2_per_kb = 2300.0;  ///< SRAM macro
+  double dataflow_mux_um2_per_pe = 60.0;  ///< reconfigurable-dataflow muxing
+  double routing_overhead = 0.18;   ///< NoC + clock + power grid fraction
+};
+
+struct AreaBreakdown {
+  double pe_mm2 = 0.0;
+  double rbuf_mm2 = 0.0;
+  double gbuf_mm2 = 0.0;
+  double mux_mm2 = 0.0;
+  double routing_mm2 = 0.0;
+  double total_mm2 = 0.0;
+};
+
+/// Estimates die area of one configuration.
+AreaBreakdown estimate_area(const AcceleratorConfig& config,
+                            const AreaParams& params = {});
+
+/// Convenience: total mm^2 only.
+double total_area_mm2(const AcceleratorConfig& config,
+                      const AreaParams& params = {});
+
+}  // namespace yoso

@@ -1,0 +1,304 @@
+#include "accel/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace yoso {
+
+double eff_fit(int n, int m) {
+  if (n <= 0 || m <= 0) return 0.0;
+  const int passes = (n + m - 1) / m;
+  return static_cast<double>(n) / (static_cast<double>(passes) * m);
+}
+
+namespace {
+
+double clampd(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// Candidate tile sizes: powers of two up to n, plus n itself.
+std::vector<int> tile_candidates(int n) {
+  std::vector<int> out;
+  for (int t = 1; t < n; t *= 2) out.push_back(t);
+  out.push_back(n);
+  return out;
+}
+
+/// PE-array utilisation of a conv/dwconv/fc layer under a dataflow.
+double layer_utilization(const Layer& layer, const AcceleratorConfig& cfg) {
+  const int rows = cfg.pe_rows;
+  const int cols = cfg.pe_cols;
+  const int k = layer.kernel;
+  const int hp = layer.out_h();
+  const int wp = layer.out_w();
+  switch (cfg.dataflow) {
+    case Dataflow::kWeightStationary:
+    case Dataflow::kNoLocalReuse: {
+      // Rows carry the reduction dimension, cols the output channels.
+      if (layer.kind == LayerKind::kDwConv) {
+        // No cross-channel reduction: only the kxk window folds onto rows.
+        return eff_fit(k * k, rows) * eff_fit(layer.in_c, cols);
+      }
+      return eff_fit(layer.in_c * k * k, rows) * eff_fit(layer.out_c, cols);
+    }
+    case Dataflow::kOutputStationary:
+      // Rows carry output pixels, cols output channels.
+      return eff_fit(hp * wp, rows) * eff_fit(layer.out_c, cols);
+    case Dataflow::kRowStationary: {
+      // Filter rows x output rows folded onto array rows, output columns
+      // onto array cols (Eyeriss-style).
+      const int fold = std::max(1, rows / k);
+      const int used_rows = std::min({k * fold, rows, k * std::max(hp, 1)});
+      const double u_r = static_cast<double>(used_rows) / rows;
+      return u_r * eff_fit(wp, cols);
+    }
+  }
+  throw std::logic_error("layer_utilization: invalid dataflow");
+}
+
+struct DramPlan {
+  TileChoice tile;
+  double bytes = std::numeric_limits<double>::infinity();
+  double weight_bytes = 0.0;  ///< weight share of `bytes`
+  bool overflow = false;
+};
+
+/// DRAM traffic for a tiling: total and the weight share (the component a
+/// batched inference amortises).
+struct DramTraffic {
+  double total = 0.0;
+  double weights = 0.0;
+};
+
+/// DRAM traffic for a tiling under the dataflow's loop order.
+DramTraffic dram_traffic(Dataflow df, bool depthwise, double i_bytes,
+                         double w_bytes, double o_bytes, int n_co, int n_ci,
+                         int n_h) {
+  if (depthwise) {
+    // Channels are independent; no partial-sum re-reads, each operand
+    // touches DRAM once as long as the tile fits.
+    return {i_bytes + w_bytes + o_bytes, w_bytes};
+  }
+  const DramTraffic ws = {w_bytes + i_bytes * n_co +
+                              o_bytes * (2.0 * n_ci - 1.0),
+                          w_bytes};
+  const DramTraffic os = {o_bytes + i_bytes * n_co + w_bytes * n_h,
+                          w_bytes * n_h};
+  switch (df) {
+    case Dataflow::kWeightStationary:
+      return ws;
+    case Dataflow::kOutputStationary:
+      return os;
+    case Dataflow::kRowStationary: {
+      // Register-level row reuse roughly halves the re-read factors.
+      const auto half = [](int n) { return (n + 1) / 2; };
+      const DramTraffic ws_rs = {w_bytes + i_bytes * half(n_co) +
+                                     o_bytes * (2.0 * half(n_ci) - 1.0),
+                                 w_bytes};
+      const DramTraffic os_rs = {o_bytes + i_bytes * half(n_co) +
+                                     w_bytes * half(n_h),
+                                 static_cast<double>(w_bytes * half(n_h))};
+      return ws_rs.total <= os_rs.total ? ws_rs : os_rs;
+    }
+    case Dataflow::kNoLocalReuse:
+      // The global buffer still provides tiling reuse; take the better order.
+      return ws.total <= os.total ? ws : os;
+  }
+  throw std::logic_error("dram_traffic: invalid dataflow");
+}
+
+/// Searches tile sizes under the (double-buffered) gbuf capacity.
+DramPlan plan_tiling(const Layer& layer, const AcceleratorConfig& cfg,
+                     const TechnologyParams& tech, double i_bytes,
+                     double w_bytes, double o_bytes) {
+  const bool depthwise = layer.kind == LayerKind::kDwConv;
+  const double b = tech.bytes_per_element;
+  const double gbuf_bytes = cfg.g_buf_kb * 1024.0;
+  const int k = layer.kernel;
+  const int hp = std::max(layer.out_h(), 1);
+  const int wp = std::max(layer.out_w(), 1);
+
+  const auto co_tiles = tile_candidates(layer.out_c);
+  const auto ci_tiles =
+      depthwise ? std::vector<int>{0} : tile_candidates(layer.in_c);
+  const auto h_tiles = tile_candidates(hp);
+
+  DramPlan best;
+  DramPlan minimal;  // smallest tile, used as overflow fallback
+  minimal.bytes = std::numeric_limits<double>::infinity();
+
+  for (int t_co : co_tiles) {
+    for (int t_ci_raw : ci_tiles) {
+      const int t_ci = depthwise ? t_co : t_ci_raw;
+      for (int t_h : h_tiles) {
+        const int in_rows = std::min((t_h - 1) * layer.stride + k, layer.in_h);
+        const double ti = static_cast<double>(in_rows) * layer.in_w * t_ci * b;
+        const double tw = static_cast<double>(k) * k * t_ci *
+                          (depthwise ? 1.0 : t_co) * b;
+        const double to = static_cast<double>(t_h) * wp * t_co * b;
+        const double need = 2.0 * (ti + tw + to);  // double buffering
+        const int n_co = (layer.out_c + t_co - 1) / t_co;
+        const int n_ci = depthwise ? n_co : (layer.in_c + t_ci - 1) / t_ci;
+        const int n_h = (hp + t_h - 1) / t_h;
+        const DramTraffic traffic =
+            dram_traffic(cfg.dataflow, depthwise, i_bytes, w_bytes, o_bytes,
+                         n_co, n_ci, n_h);
+        if (t_co == co_tiles.front() && t_h == h_tiles.front() &&
+            (depthwise || t_ci_raw == ci_tiles.front())) {
+          minimal.tile = {t_co, t_ci, t_h};
+          minimal.bytes = traffic.total;
+          minimal.weight_bytes = traffic.weights;
+        }
+        if (need > gbuf_bytes) continue;
+        if (traffic.total < best.bytes) {
+          best.tile = {t_co, t_ci, t_h};
+          best.bytes = traffic.total;
+          best.weight_bytes = traffic.weights;
+        }
+      }
+    }
+  }
+
+  if (!std::isfinite(best.bytes)) {
+    // Not even the minimal tile fits: stream with a traffic penalty.
+    minimal.bytes *= 2.0;
+    minimal.weight_bytes *= 2.0;
+    minimal.overflow = true;
+    return minimal;
+  }
+  return best;
+}
+
+LayerMapping map_pool(const Layer& layer, const AcceleratorConfig& cfg,
+                      const TechnologyParams& tech) {
+  LayerMapping m;
+  const double b = tech.bytes_per_element;
+  const double i_bytes =
+      static_cast<double>(layer.in_h) * layer.in_w * layer.in_c * b;
+  const double o_bytes = static_cast<double>(layer.output_elements()) * b;
+  m.macs = 0.0;
+  m.utilization = eff_fit(layer.in_c, cfg.pe_cols);
+  m.dram_bytes = i_bytes + o_bytes;
+  // Pass through the global buffer on the way in and out.
+  m.gbuf_bytes = 2.0 * (i_bytes + o_bytes);
+  m.rbuf_bytes = 0.0;
+  const double pool_ops = static_cast<double>(layer.kernel) * layer.kernel *
+                          static_cast<double>(layer.output_elements());
+  m.compute_cycles = pool_ops / std::max(1, cfg.pe_cols);
+  const double dram_cycles = m.dram_bytes / tech.dram_bytes_per_cycle;
+  const double gbuf_cycles = m.gbuf_bytes / tech.gbuf_bytes_per_cycle;
+  const double fill = cfg.pe_rows + cfg.pe_cols + 50.0;
+  m.total_cycles =
+      std::max({m.compute_cycles, dram_cycles, gbuf_cycles}) + fill;
+  m.stall_cycles = std::max(0.0, m.total_cycles - fill - m.compute_cycles);
+  m.tile = {layer.out_c, layer.in_c, std::max(layer.out_h(), 1)};
+  return m;
+}
+
+}  // namespace
+
+LayerMapping map_layer(const Layer& layer, const AcceleratorConfig& cfg,
+                       const TechnologyParams& tech) {
+  if (layer.kind == LayerKind::kPool) return map_pool(layer, cfg, tech);
+
+  LayerMapping m;
+  const double b = tech.bytes_per_element;
+  const bool depthwise = layer.kind == LayerKind::kDwConv;
+  const int k = layer.kernel;
+  const int hp = std::max(layer.out_h(), 1);
+  const int wp = std::max(layer.out_w(), 1);
+
+  const double i_bytes =
+      static_cast<double>(layer.in_h) * layer.in_w * layer.in_c * b;
+  const double w_bytes = static_cast<double>(layer.params()) * b;
+  const double o_bytes = static_cast<double>(layer.output_elements()) * b;
+  m.macs = static_cast<double>(layer.macs());
+
+  m.utilization = std::max(layer_utilization(layer, cfg), 1e-3);
+  m.compute_cycles = m.macs / (cfg.num_pes() * m.utilization);
+
+  const DramPlan plan = plan_tiling(layer, cfg, tech, i_bytes, w_bytes,
+                                    o_bytes);
+  m.tile = plan.tile;
+  m.dram_bytes = plan.bytes;
+  m.dram_weight_bytes = plan.weight_bytes;
+  m.buffer_overflow = plan.overflow;
+
+  // --- Global-buffer <-> array traffic after spatial + register reuse. ---
+  const double rbuf_elems =
+      std::max(1.0, cfg.r_buf_bytes / tech.bytes_per_element);
+  // Input-window temporal reuse achievable with the register buffer: full
+  // kxk window reuse needs room for the window plus resident weights and
+  // partial sums (modelled as an 8x per-row overhead), so small register
+  // buffers (64 B) get almost no temporal reuse and large ones (1 KB)
+  // saturate at k.
+  const double window =
+      clampd(rbuf_elems / (8.0 * k), 1.0, static_cast<double>(k));
+  const double rows_used =
+      depthwise ? std::min<double>(k * k, cfg.pe_rows)
+                : std::min<double>(static_cast<double>(layer.in_c) * k * k,
+                                   cfg.pe_rows);
+  const double cols_used = std::min<double>(layer.out_c, cfg.pe_cols);
+  const double pixel_rows_used =
+      std::min<double>(static_cast<double>(hp) * wp, cfg.pe_rows);
+
+  double gbuf_i = 0.0, gbuf_w = 0.0, gbuf_o = 0.0;
+  switch (cfg.dataflow) {
+    case Dataflow::kWeightStationary:
+      gbuf_w = w_bytes;  // loaded into the array once per residency
+      gbuf_i = m.macs * b / std::max(1.0, cols_used * window);
+      gbuf_o = m.macs * b / std::max(1.0, rows_used) + o_bytes;
+      break;
+    case Dataflow::kOutputStationary:
+      gbuf_w = m.macs * b / std::max(1.0, pixel_rows_used);
+      gbuf_i = m.macs * b / std::max(1.0, cols_used * window);
+      gbuf_o = 2.0 * o_bytes;  // drain + write-back
+      break;
+    case Dataflow::kRowStationary: {
+      const double w_reuse = std::max(1.0, static_cast<double>(wp));
+      const double i_reuse = std::max(1.0, k * window);
+      const double o_reuse = std::max(1.0, static_cast<double>(k));
+      gbuf_w = m.macs * b / w_reuse;
+      gbuf_i = m.macs * b / i_reuse;
+      gbuf_o = m.macs * b / o_reuse + o_bytes;
+      break;
+    }
+    case Dataflow::kNoLocalReuse:
+      // Only spatial reuse (broadcast across cols, accumulate down rows).
+      gbuf_w = m.macs * b;
+      gbuf_i = m.macs * b / std::max(1.0, cols_used);
+      gbuf_o = m.macs * b / std::max(1.0, rows_used) + o_bytes;
+      break;
+  }
+  // Every DRAM byte also transits the global buffer.
+  m.gbuf_bytes = gbuf_i + gbuf_w + gbuf_o + m.dram_bytes;
+
+  // Register-file traffic: two operand reads + one accumulation per MAC for
+  // the pinned-operand dataflows; RS shuttles partial sums between register
+  // files as well; NLR has no register buffers in the datapath.
+  switch (cfg.dataflow) {
+    case Dataflow::kWeightStationary:
+    case Dataflow::kOutputStationary:
+      m.rbuf_bytes = 3.0 * m.macs * b;
+      break;
+    case Dataflow::kRowStationary:
+      m.rbuf_bytes = 3.5 * m.macs * b;
+      break;
+    case Dataflow::kNoLocalReuse:
+      m.rbuf_bytes = 0.0;
+      break;
+  }
+
+  const double dram_cycles = m.dram_bytes / tech.dram_bytes_per_cycle;
+  const double gbuf_cycles = m.gbuf_bytes / tech.gbuf_bytes_per_cycle;
+  const double fill = cfg.pe_rows + cfg.pe_cols + 50.0;
+  m.total_cycles =
+      std::max({m.compute_cycles, dram_cycles, gbuf_cycles}) + fill;
+  m.stall_cycles = std::max(0.0, m.total_cycles - fill - m.compute_cycles);
+  return m;
+}
+
+}  // namespace yoso

@@ -1,0 +1,56 @@
+#pragma once
+// Per-layer mapping of a concrete layer onto the systolic-array template
+// under one of the four dataflows, nn_dataflow-style: a small tiling search
+// chooses output-channel / input-channel / output-row tile sizes under the
+// global-buffer capacity constraint, and an analytical model derives
+//
+//   * PE-array utilisation (how well the layer dims fill the array),
+//   * compute cycles, memory-stall cycles, total cycles,
+//   * bytes moved at each hierarchy level (DRAM, global buffer, register
+//     buffers) after spatial (array broadcast / accumulation) and temporal
+//     (register-buffer) reuse.
+//
+// The dataflow determines which operand is pinned (WS: weights, OS: partial
+// sums, RS: filter/feature rows, NLR: nothing) and therefore which DRAM
+// re-read pattern and which register-reuse factors apply.
+
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/tech.h"
+#include "arch/network.h"
+
+namespace yoso {
+
+/// Tile sizes chosen by the mapping search.
+struct TileChoice {
+  int t_co = 1;  ///< output-channel tile
+  int t_ci = 1;  ///< input-channel tile
+  int t_h = 1;   ///< output-row tile
+};
+
+/// Mapping result for one layer on one configuration.
+struct LayerMapping {
+  TileChoice tile;
+  double utilization = 0.0;    ///< fraction of PEs doing useful work
+  double macs = 0.0;
+  double compute_cycles = 0.0;
+  double stall_cycles = 0.0;   ///< memory-bound extra cycles
+  double total_cycles = 0.0;   ///< max(compute, bandwidth) + fill
+  double dram_bytes = 0.0;
+  double dram_weight_bytes = 0.0;  ///< weight share of dram_bytes (batch-
+                                   ///< amortisable in throughput mode)
+  double gbuf_bytes = 0.0;     ///< traffic between global buffer and array
+  double rbuf_bytes = 0.0;     ///< traffic through PE register files
+  bool buffer_overflow = false;  ///< even the minimal tile missed capacity
+};
+
+/// Fraction of `m` lanes busy when `n` units are folded onto them:
+/// n / (ceil(n/m) * m).  Returns 1.0 for n == 0 handled as empty.
+double eff_fit(int n, int m);
+
+/// Maps one layer; never fails (degenerate layers get zero-cost mappings).
+LayerMapping map_layer(const Layer& layer, const AcceleratorConfig& config,
+                       const TechnologyParams& tech);
+
+}  // namespace yoso

@@ -1,0 +1,40 @@
+#include "accel/roofline.h"
+
+#include <algorithm>
+
+namespace yoso {
+
+RooflineSummary roofline_analysis(const std::vector<Layer>& layers,
+                                  const AcceleratorConfig& config,
+                                  const TechnologyParams& tech) {
+  RooflineSummary summary;
+  summary.peak_gmacs = config.num_pes() * tech.clock_ghz;
+  const double dram_gbps =
+      tech.dram_bytes_per_cycle * tech.clock_ghz;  // GB/s
+  summary.balance_intensity = summary.peak_gmacs / dram_gbps;
+
+  double eff_weighted = 0.0;
+  double macs_total = 0.0;
+  for (const Layer& layer : layers) {
+    if (layer.macs() == 0) continue;  // pools: no compute roofline
+    const LayerMapping m = map_layer(layer, config, tech);
+    RooflinePoint p;
+    p.layer_name = layer.name;
+    p.intensity = m.dram_bytes > 0.0 ? m.macs / m.dram_bytes : 1e9;
+    p.attainable_gmacs =
+        std::min(summary.peak_gmacs, dram_gbps * p.intensity);
+    const double seconds = m.total_cycles / (tech.clock_ghz * 1e9);
+    p.achieved_gmacs = seconds > 0.0 ? m.macs / seconds * 1e-9 : 0.0;
+    p.memory_bound = p.intensity < summary.balance_intensity;
+    if (p.memory_bound) ++summary.memory_bound_layers;
+    eff_weighted += (p.achieved_gmacs /
+                     std::max(p.attainable_gmacs, 1e-9)) * m.macs;
+    macs_total += m.macs;
+    summary.layers.push_back(std::move(p));
+  }
+  summary.mean_efficiency =
+      macs_total > 0.0 ? eff_weighted / macs_total : 0.0;
+  return summary;
+}
+
+}  // namespace yoso

@@ -1,0 +1,41 @@
+#pragma once
+// Roofline analysis of a network on a configuration.
+//
+// The classic architect's sanity check: for each layer, operational
+// intensity (MACs per DRAM byte) against the machine balance point
+// (peak MACs/s divided by DRAM bytes/s) tells whether the layer is
+// compute- or memory-bound and how close the mapping gets to its bound.
+// The benches and report use this to explain *why* a configuration wins.
+
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/mapping.h"
+#include "accel/tech.h"
+#include "arch/network.h"
+
+namespace yoso {
+
+struct RooflinePoint {
+  std::string layer_name;
+  double intensity = 0.0;        ///< MACs per DRAM byte
+  double attainable_gmacs = 0.0; ///< roofline bound, GMAC/s
+  double achieved_gmacs = 0.0;   ///< from the mapping's cycle estimate
+  bool memory_bound = false;     ///< intensity below the balance point
+};
+
+struct RooflineSummary {
+  double peak_gmacs = 0.0;          ///< array peak, GMAC/s
+  double balance_intensity = 0.0;   ///< MACs/byte where compute == memory
+  std::vector<RooflinePoint> layers;
+  std::size_t memory_bound_layers = 0;
+  double mean_efficiency = 0.0;     ///< achieved / attainable, MAC-weighted
+};
+
+/// Builds the roofline for every weight-bearing layer of a network on a
+/// configuration (pool layers move data but have no MACs and are skipped).
+RooflineSummary roofline_analysis(const std::vector<Layer>& layers,
+                                  const AcceleratorConfig& config,
+                                  const TechnologyParams& tech = {});
+
+}  // namespace yoso

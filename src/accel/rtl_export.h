@@ -1,0 +1,32 @@
+#pragma once
+// SystemVerilog skeleton generator for a searched accelerator
+// configuration.
+//
+// The co-search ends with an AcceleratorConfig; the step after the paper is
+// implementation.  This exporter emits a parameterised, synthesizable-style
+// SystemVerilog skeleton of the chosen systolic array — top level with the
+// PE array generate loops, a PE with MAC + register buffer, the global
+// buffer wrapper and the dataflow-specific operand routing stubs — so a
+// hardware team starts from a structurally correct template rather than a
+// blank file.  (Datapath contents are templates, not a verified design.)
+
+#include <string>
+
+#include "accel/config.h"
+
+namespace yoso {
+
+struct RtlOptions {
+  int data_width = 16;              ///< operand width (the model's datapath)
+  int accumulator_width = 32;       ///< psum width
+  std::string module_prefix = "yoso";
+};
+
+/// Emits the complete SystemVerilog source (all modules in one unit).
+std::string export_systolic_rtl(const AcceleratorConfig& config,
+                                const RtlOptions& options = {});
+
+/// Name of the generated top-level module for a prefix.
+std::string rtl_top_module_name(const RtlOptions& options = {});
+
+}  // namespace yoso

@@ -1,0 +1,11 @@
+#include "accel/tech.h"
+
+#include <cmath>
+
+namespace yoso {
+
+double TechnologyParams::gbuf_energy_per_byte(double g_buf_kb) const {
+  return e_gbuf_pj_per_byte * std::sqrt(g_buf_kb / gbuf_reference_kb);
+}
+
+}  // namespace yoso

@@ -1,0 +1,39 @@
+#pragma once
+// Technology parameters of the systolic-array template: clock, datapath
+// width, memory bandwidths and per-access energies.  The defaults are
+// calibrated so that networks from the YOSO search space at CIFAR scale land
+// in the paper's reported ranges (total energy ~7..18 mJ, latency
+// ~0.7..2.5 ms per inference) — see EXPERIMENTS.md for the calibration note.
+
+namespace yoso {
+
+struct TechnologyParams {
+  double clock_ghz = 0.7;          ///< PE array clock
+  double bytes_per_element = 2.0;  ///< 16-bit fixed-point datapath
+
+  // Bandwidths, bytes per cycle.
+  double dram_bytes_per_cycle = 16.0;
+  double gbuf_bytes_per_cycle = 96.0;
+
+  // Dynamic energy per byte moved at each hierarchy level (pJ/byte) and per
+  // MAC operation (pJ).  Ratios follow the usual DRAM >> SRAM >> RF >> MAC
+  // ordering (cf. Eyeriss energy tables).
+  double e_dram_pj_per_byte = 460.0;
+  double e_gbuf_pj_per_byte = 18.0;  ///< at the 512 KB reference size
+  double e_rbuf_pj_per_byte = 2.4;
+  double e_mac_pj = 3.0;
+
+  // Static (leakage) power, mW.  Grows with array size and buffer capacity,
+  // creating pressure against over-provisioned hardware.
+  double p_static_per_pe_mw = 0.012;
+  double p_static_per_gbuf_kb_mw = 0.006;
+
+  // Global-buffer access energy scales roughly with sqrt(capacity); this is
+  // the reference capacity for e_gbuf_pj_per_byte.
+  double gbuf_reference_kb = 512.0;
+
+  /// Effective gbuf energy per byte for a given capacity.
+  double gbuf_energy_per_byte(double g_buf_kb) const;
+};
+
+}  // namespace yoso

@@ -1,0 +1,42 @@
+#pragma once
+// Flat action-sequence encoding of a genotype (paper §III.C).
+//
+// The RL controller treats each candidate as a sequence
+//   lambda = (d_1 .. d_S, c_1 .. c_L),  S = 40 DNN actions, L = 4 HW actions.
+// This module defines the 40 DNN actions: for every interior node of the
+// normal cell then the reduction cell, in order, the four decisions
+// (input_a, input_b, op_a, op_b).  Input actions have node-dependent
+// cardinality (node i chooses among its i predecessors); op actions have
+// cardinality 6.  The 4 hardware actions are defined by the accelerator
+// config space (src/accel) and concatenated by the core DesignSpace.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/genotype.h"
+
+namespace yoso {
+
+/// Metadata of one position in the action sequence.
+struct ActionStep {
+  enum class Kind { kInput, kOp };
+  Kind kind = Kind::kInput;
+  int cardinality = 0;  ///< number of valid choices at this step
+  std::string name;     ///< e.g. "normal.node3.input_a"
+};
+
+/// Number of DNN actions (the paper's S).
+inline constexpr int kDnnActionCount = 2 * kInteriorNodes * 4;  // 40
+
+/// The 40 DNN action steps in controller order.
+std::vector<ActionStep> dnn_action_steps();
+
+/// Genotype -> 40 action indices.
+std::vector<int> encode_genotype(const Genotype& g);
+
+/// 40 action indices -> genotype.  Throws std::invalid_argument when the
+/// sequence length or any action is out of range.
+Genotype decode_genotype(std::span<const int> actions);
+
+}  // namespace yoso

@@ -1,0 +1,35 @@
+#pragma once
+// Representative reference networks for the two-stage baseline (Table 2).
+//
+// The paper reimplements the two-stage method by taking published
+// high-accuracy cell-search networks (NasNet-A, DARTS v1/v2, AmoebaNet-A,
+// EnasNet, PnasNet) "designed in the same neural architecture search space",
+// then exhaustively enumerating accelerator configurations per network.
+// We cannot ship the authors' exact translations, so each entry here is a
+// hand-written genotype in our op set that structurally mirrors the
+// published cell (op mix, branching) — e.g. the DARTS cells are separable-
+// conv-3x3 heavy, NasNet/AmoebaNet lean on 5x5 branches and average pools.
+// Each entry also records the paper-reported search cost and CIFAR-10 test
+// error so the Table-2 bench can print paper-vs-measured side by side.
+
+#include <string>
+#include <vector>
+
+#include "arch/genotype.h"
+
+namespace yoso {
+
+struct ReferenceModel {
+  std::string name;
+  Genotype genotype;
+  double paper_test_error = 0.0;     ///< % on CIFAR-10, from Table 2
+  double paper_search_gpu_days = 0;  ///< from Table 2
+};
+
+/// The six two-stage reference models of Table 2, in paper order.
+std::vector<ReferenceModel> reference_models();
+
+/// Looks up a reference model by name; throws if unknown.
+const ReferenceModel& reference_model(const std::string& name);
+
+}  // namespace yoso

@@ -1,0 +1,69 @@
+#include "core/design_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yoso {
+
+DesignSpace::DesignSpace(ConfigSpace config_space)
+    : config_space_(std::move(config_space)), dnn_steps_(dnn_action_steps()) {}
+
+int DesignSpace::num_actions() const {
+  return kDnnActionCount + ConfigSpace::kActionCount;
+}
+
+std::vector<int> DesignSpace::cardinalities() const {
+  std::vector<int> cards;
+  cards.reserve(static_cast<std::size_t>(num_actions()));
+  for (const ActionStep& s : dnn_steps_) cards.push_back(s.cardinality);
+  for (int a = 0; a < ConfigSpace::kActionCount; ++a)
+    cards.push_back(config_space_.cardinality(a));
+  return cards;
+}
+
+std::vector<std::string> DesignSpace::action_names() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_actions()));
+  for (const ActionStep& s : dnn_steps_) names.push_back(s.name);
+  names.push_back("hw.pe_shape");
+  names.push_back("hw.g_buf");
+  names.push_back("hw.r_buf");
+  names.push_back("hw.dataflow");
+  return names;
+}
+
+CandidateDesign DesignSpace::decode(const std::vector<int>& actions) const {
+  if (actions.size() != static_cast<std::size_t>(num_actions()))
+    throw std::invalid_argument("DesignSpace::decode: expected " +
+                                std::to_string(num_actions()) + " actions");
+  CandidateDesign c;
+  c.genotype = decode_genotype(
+      std::span<const int>(actions).first(kDnnActionCount));
+  const std::vector<int> hw(actions.begin() + kDnnActionCount, actions.end());
+  c.config = config_space_.decode(hw);
+  return c;
+}
+
+std::vector<int> DesignSpace::encode(const CandidateDesign& candidate) const {
+  std::vector<int> actions = encode_genotype(candidate.genotype);
+  for (int a : config_space_.encode(candidate.config)) actions.push_back(a);
+  return actions;
+}
+
+CandidateDesign DesignSpace::random_candidate(Rng& rng) const {
+  CandidateDesign c;
+  c.genotype = random_genotype(rng);
+  std::vector<int> hw(ConfigSpace::kActionCount);
+  for (int a = 0; a < ConfigSpace::kActionCount; ++a)
+    hw[static_cast<std::size_t>(a)] =
+        rng.uniform_int(0, config_space_.cardinality(a) - 1);
+  c.config = config_space_.decode(hw);
+  return c;
+}
+
+double DesignSpace::log10_size() const {
+  return std::log10(genotype_space_size()) +
+         std::log10(static_cast<double>(config_space_.size()));
+}
+
+}  // namespace yoso

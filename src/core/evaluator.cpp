@@ -1,0 +1,51 @@
+#include "core/evaluator.h"
+
+namespace yoso {
+
+FastEvaluator::FastEvaluator(const DesignSpace& space,
+                             const NetworkSkeleton& skeleton,
+                             const SystolicSimulator& simulator,
+                             FastEvaluatorOptions options)
+    : accuracy_(skeleton), predictor_(skeleton) {
+  Rng rng(options.seed);
+  const auto samples = collect_samples(options.predictor_samples, simulator,
+                                       space.config_space(), skeleton, rng);
+  predictor_.fit(samples);
+}
+
+FastEvaluator::FastEvaluator(const NetworkSkeleton& skeleton,
+                             const std::vector<PerfSample>& samples)
+    : accuracy_(skeleton), predictor_(skeleton) {
+  predictor_.fit(samples);
+}
+
+EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
+  EvalResult r;
+  r.accuracy = accuracy_.hypernet_accuracy(candidate.genotype);
+  r.latency_ms = std::max(
+      1e-3, predictor_.predict_latency_ms(candidate.genotype,
+                                          candidate.config));
+  r.energy_mj = std::max(
+      1e-3,
+      predictor_.predict_energy_mj(candidate.genotype, candidate.config));
+  return r;
+}
+
+AccurateEvaluator::AccurateEvaluator(NetworkSkeleton skeleton,
+                                     SystolicSimulator simulator)
+    : skeleton_(std::move(skeleton)),
+      accuracy_(skeleton_),
+      simulator_(simulator) {}
+
+EvalResult AccurateEvaluator::evaluate(const CandidateDesign& candidate) {
+  EvalResult r;
+  r.accuracy = 1.0 - accuracy_.test_error(candidate.genotype) / 100.0;
+  const SimulationResult sim =
+      simulator_.simulate_network(candidate.genotype, skeleton_,
+                                  candidate.config);
+  r.latency_ms = sim.latency_ms;
+  r.energy_mj = sim.energy_mj;
+  return r;
+}
+
+}  // namespace yoso

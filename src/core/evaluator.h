@@ -1,0 +1,77 @@
+#pragma once
+// Candidate evaluators (paper Fig 2).
+//
+// FastEvaluator — used inside the search loop:
+//   * accuracy from the one-shot HyperNet proxy (surrogate hypernet mode;
+//     see src/surrogate for why a calibrated analytic model stands in for a
+//     GPU-trained HyperNet at bench scale), and
+//   * latency/energy from the Gaussian-process performance predictor.
+//
+// AccurateEvaluator — used for Step-3 top-N reranking and for the two-stage
+// baseline: "fully trained" accuracy (surrogate test-error mode) and the
+// cycle-level systolic-array simulation.
+//
+// Both share one interface so the search driver is evaluator-agnostic, and
+// the HyperNet-backed evaluator in examples/ plugs in the same way.
+
+#include <memory>
+
+#include "accel/simulator.h"
+#include "core/design_space.h"
+#include "core/reward.h"
+#include "predictor/perf_predictor.h"
+#include "surrogate/accuracy_model.h"
+
+namespace yoso {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  virtual EvalResult evaluate(const CandidateDesign& candidate) = 0;
+};
+
+/// Step-1 construction knobs for the fast evaluator.
+struct FastEvaluatorOptions {
+  std::size_t predictor_samples = 600;  ///< simulator samples for GP training
+  std::uint64_t seed = 99;
+};
+
+class FastEvaluator : public Evaluator {
+ public:
+  /// Builds the evaluator: collects `predictor_samples` simulator samples
+  /// and fits the energy + latency GPs (paper Step 1).
+  FastEvaluator(const DesignSpace& space, const NetworkSkeleton& skeleton,
+                const SystolicSimulator& simulator,
+                FastEvaluatorOptions options = {});
+
+  /// Construction from pre-collected samples (lets benches reuse them).
+  FastEvaluator(const NetworkSkeleton& skeleton,
+                const std::vector<PerfSample>& samples);
+
+  EvalResult evaluate(const CandidateDesign& candidate) override;
+
+  const PerformancePredictor& predictor() const { return predictor_; }
+  const AccuracyModel& accuracy_model() const { return accuracy_; }
+
+ private:
+  AccuracyModel accuracy_;
+  PerformancePredictor predictor_;
+};
+
+class AccurateEvaluator : public Evaluator {
+ public:
+  AccurateEvaluator(NetworkSkeleton skeleton,
+                    SystolicSimulator simulator = SystolicSimulator(
+                        {}, SimFidelity::kCycleLevel));
+
+  EvalResult evaluate(const CandidateDesign& candidate) override;
+
+  const SystolicSimulator& simulator() const { return simulator_; }
+
+ private:
+  NetworkSkeleton skeleton_;
+  AccuracyModel accuracy_;
+  SystolicSimulator simulator_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,115 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace yoso {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.first > b.first || a.second > b.second) return false;
+  return a.first < b.first || a.second < b.second;
+}
+
+bool dominates(const EvalResult& a, const EvalResult& b) {
+  if (a.accuracy < b.accuracy || a.latency_ms > b.latency_ms ||
+      a.energy_mj > b.energy_mj)
+    return false;
+  return a.accuracy > b.accuracy || a.latency_ms < b.latency_ms ||
+         a.energy_mj < b.energy_mj;
+}
+
+namespace {
+
+template <typename T, typename Dom>
+std::vector<std::size_t> front_indices(std::span<const T> items, Dom dom) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < items.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (dom(items[j], items[i])) dominated = true;
+      // Exact duplicates: keep the first occurrence only.
+      if (j < i && !dom(items[j], items[i]) && !dom(items[i], items[j])) {
+        if constexpr (std::is_same_v<T, ParetoPoint>) {
+          if (items[j] == items[i]) dominated = true;
+        }
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pareto_front_indices(
+    std::span<const ParetoPoint> points) {
+  return front_indices(points, [](const ParetoPoint& a, const ParetoPoint& b) {
+    return dominates(a, b);
+  });
+}
+
+std::vector<std::size_t> pareto_front_indices(
+    std::span<const EvalResult> results) {
+  return front_indices(results, [](const EvalResult& a, const EvalResult& b) {
+    return dominates(a, b);
+  });
+}
+
+double hypervolume_2d(std::span<const ParetoPoint> points,
+                      const ParetoPoint& reference) {
+  // Clip to points that dominate the reference, sort by f1 ascending, then
+  // sweep: each point contributes (next_f1 - f1) * (ref2 - f2) after
+  // removing dominated points.
+  std::vector<ParetoPoint> front;
+  for (const auto& p : points)
+    if (p.first < reference.first && p.second < reference.second)
+      front.push_back(p);
+  if (front.empty()) return 0.0;
+  std::sort(front.begin(), front.end());
+  // Lower envelope: strictly decreasing f2 as f1 grows.
+  std::vector<ParetoPoint> env;
+  for (const auto& p : front) {
+    if (!env.empty() && p.first == env.back().first) {
+      env.back().second = std::min(env.back().second, p.second);
+      continue;
+    }
+    if (env.empty() || p.second < env.back().second) env.push_back(p);
+  }
+  double volume = 0.0;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    const double width =
+        (i + 1 < env.size() ? env[i + 1].first : reference.first) -
+        env[i].first;
+    volume += width * (reference.second - env[i].second);
+  }
+  return volume;
+}
+
+double distance_to_front(const ParetoPoint& p,
+                         std::span<const ParetoPoint> front) {
+  if (front.empty())
+    throw std::invalid_argument("distance_to_front: empty front");
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& f : front) {
+    const double dx = p.first - f.first;
+    const double dy = p.second - f.second;
+    best = std::min(best, std::sqrt(dx * dx + dy * dy));
+  }
+  return best;
+}
+
+std::vector<ParetoPoint> to_tradeoff_points(
+    std::span<const EvalResult> results, TradeoffMetric metric) {
+  std::vector<ParetoPoint> points;
+  points.reserve(results.size());
+  for (const EvalResult& r : results)
+    points.emplace_back((1.0 - r.accuracy) * 100.0,
+                        metric == TradeoffMetric::kEnergy ? r.energy_mj
+                                                          : r.latency_ms);
+  return points;
+}
+
+}  // namespace yoso

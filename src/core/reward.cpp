@@ -1,0 +1,57 @@
+#include "core/reward.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace yoso {
+
+double RewardParams::compute(const EvalResult& r) const {
+  if (r.latency_ms <= 0.0 || r.energy_mj <= 0.0)
+    throw std::invalid_argument("RewardParams::compute: non-positive perf");
+  const double lat_term =
+      alpha_lat * std::pow(r.latency_ms / t_lat_ms, omega_lat);
+  const double eer_term =
+      alpha_eer * std::pow(r.energy_mj / t_eer_mj, omega_eer);
+  return r.accuracy + lat_term + eer_term;
+}
+
+bool RewardParams::feasible(const EvalResult& r) const {
+  return r.latency_ms <= t_lat_ms && r.energy_mj <= t_eer_mj;
+}
+
+std::string RewardParams::to_string() const {
+  std::ostringstream ss;
+  ss << "R = A + " << alpha_lat << "*(l/" << t_lat_ms << "ms)^" << omega_lat
+     << " + " << alpha_eer << "*(e/" << t_eer_mj << "mJ)^" << omega_eer;
+  return ss.str();
+}
+
+RewardParams balanced_reward() {
+  RewardParams p;
+  p.alpha_lat = 0.5;
+  p.omega_lat = -0.4;
+  p.alpha_eer = 0.5;
+  p.omega_eer = -0.4;
+  return p;
+}
+
+RewardParams energy_opt_reward() {
+  RewardParams p;
+  p.alpha_eer = 0.6;
+  p.omega_eer = -0.4;
+  p.alpha_lat = 0.3;
+  p.omega_lat = -0.2;
+  return p;
+}
+
+RewardParams latency_opt_reward() {
+  RewardParams p;
+  p.alpha_lat = 0.6;
+  p.omega_lat = -0.4;
+  p.alpha_eer = 0.3;
+  p.omega_eer = -0.3;
+  return p;
+}
+
+}  // namespace yoso

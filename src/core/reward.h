@@ -1,0 +1,56 @@
+#pragma once
+// Multi-objective reward (paper Eq. 2):
+//   R(lambda) = A(lambda) + a_lat * (l/t_lat)^w_lat + a_eer * (e/t_eer)^w_eer
+// with A the validation accuracy, l latency, e energy; the omegas are
+// negative, so designs faster/leaner than the threshold earn a bonus that
+// grows as they improve and a penalty that grows as they regress.
+//
+// Coefficient presets follow Fig 6.  Note on paper fidelity: the captions of
+// Fig 6(b)/(c) list (alpha1, omega1, alpha2, omega2) without restating which
+// term is latency and which is energy, and reading them positionally against
+// Eq. 2 would make the "energy-optimal" run weight latency harder.  We
+// resolve the ambiguity by intent: the energy-optimal preset puts the
+// stronger coefficient pair (0.6, -0.4) on the energy term, the
+// latency-optimal preset puts it on the latency term.  See DESIGN.md.
+
+#include <string>
+
+namespace yoso {
+
+/// Scalar performance triple every evaluator returns.
+struct EvalResult {
+  double accuracy = 0.0;    ///< validation accuracy in [0, 1]
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+};
+
+struct RewardParams {
+  double alpha_lat = 0.5;
+  double omega_lat = -0.4;
+  double alpha_eer = 0.5;
+  double omega_eer = -0.4;
+  double t_lat_ms = 1.2;  ///< latency threshold (paper §IV.A: 1.2 ms)
+  double t_eer_mj = 9.0;  ///< energy threshold (paper §IV.A: 9 mJ)
+
+  /// Eq. 2.
+  double compute(const EvalResult& r) const;
+
+  /// The paper screens out designs that miss the thresholds before the
+  /// final comparison.
+  bool feasible(const EvalResult& r) const;
+
+  std::string to_string() const;
+};
+
+/// Fig 6(a): balanced composite score (alpha 0.5/0.5, omega -0.4/-0.4).
+RewardParams balanced_reward();
+
+/// Fig 6(b): energy-leaning trade-off — (0.6, -0.4) on energy,
+/// (0.3, -0.2) on latency.
+RewardParams energy_opt_reward();
+
+/// Fig 6(c): latency-leaning trade-off — (0.6, -0.4) on latency,
+/// (0.3, -0.3) on energy.
+RewardParams latency_opt_reward();
+
+}  // namespace yoso

@@ -1,0 +1,106 @@
+#include "core/search.h"
+
+#include <algorithm>
+
+namespace yoso {
+
+void FinalistPool::offer(const CandidateDesign& candidate, double reward,
+                         const EvalResult& result) {
+  for (const auto& e : entries_)
+    if (e.candidate == candidate) return;  // dedupe revisited designs
+  if (entries_.size() < capacity_ || reward > entries_.back().fast_reward) {
+    RankedCandidate e;
+    e.candidate = candidate;
+    e.fast_reward = reward;
+    e.fast_result = result;
+    entries_.push_back(std::move(e));
+    std::sort(entries_.begin(), entries_.end(),
+              [](const RankedCandidate& a, const RankedCandidate& b) {
+                return a.fast_reward > b.fast_reward;
+              });
+    if (entries_.size() > capacity_) entries_.pop_back();
+  }
+}
+
+void rerank_finalists(SearchResult& result, const RewardParams& reward,
+                      Evaluator* accurate) {
+  for (RankedCandidate& f : result.finalists) {
+    if (accurate != nullptr) {
+      f.accurate_result = accurate->evaluate(f.candidate);
+    } else {
+      f.accurate_result = f.fast_result;
+    }
+    f.accurate_reward = reward.compute(f.accurate_result);
+    f.feasible = reward.feasible(f.accurate_result);
+  }
+  std::sort(result.finalists.begin(), result.finalists.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              return a.accurate_reward > b.accurate_reward;
+            });
+  // Best feasible finalist wins; if none is feasible, take the best overall
+  // so callers still get a solution to report.
+  for (const RankedCandidate& f : result.finalists) {
+    if (f.feasible) {
+      result.best = f;
+      return;
+    }
+  }
+  if (!result.finalists.empty()) result.best = result.finalists.front();
+}
+
+YosoSearch::YosoSearch(const DesignSpace& space, SearchOptions options)
+    : space_(space), options_(std::move(options)) {}
+
+SearchResult YosoSearch::run(Evaluator& fast, Evaluator* accurate) {
+  SearchResult result;
+  ControllerOptions copt = options_.controller;
+  copt.seed = options_.seed;
+  LstmController controller(space_.cardinalities(), copt);
+  ReinforceTrainer trainer(controller, options_.reinforce);
+  Rng rng(options_.seed ^ 0x5ca1ab1eull);
+  FinalistPool top(options_.top_n);
+
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    Episode ep = trainer.propose(rng);
+    const CandidateDesign candidate = space_.decode(ep.actions);
+    const EvalResult eval = fast.evaluate(candidate);
+    const double reward = options_.reward.compute(eval);
+    trainer.feedback(ep, reward);
+    top.offer(candidate, reward, eval);
+    result.best_fast_reward = std::max(result.best_fast_reward, reward);
+    if (options_.trace_every != 0 && it % options_.trace_every == 0)
+      result.trace.push_back({it, reward, eval, candidate});
+  }
+  result.iterations_run = options_.iterations;
+  result.finalists = top.take();
+  rerank_finalists(result, options_.reward, accurate);
+  return result;
+}
+
+RandomSearchDriver::RandomSearchDriver(const DesignSpace& space,
+                                       SearchOptions options)
+    : space_(space), options_(std::move(options)) {}
+
+SearchResult RandomSearchDriver::run(Evaluator& fast, Evaluator* accurate) {
+  SearchResult result;
+  RandomSearcher searcher(space_.cardinalities());
+  Rng rng(options_.seed ^ 0xdecafull);
+  FinalistPool top(options_.top_n);
+
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    const std::vector<int> actions = searcher.propose(rng);
+    const CandidateDesign candidate = space_.decode(actions);
+    const EvalResult eval = fast.evaluate(candidate);
+    const double reward = options_.reward.compute(eval);
+    top.offer(candidate, reward, eval);
+    result.best_fast_reward = std::max(result.best_fast_reward, reward);
+    if (options_.trace_every != 0 && it % options_.trace_every == 0)
+      result.trace.push_back({it, reward, eval, candidate});
+  }
+  result.iterations_run = options_.iterations;
+  result.finalists = top.take();
+  rerank_finalists(result, options_.reward, accurate);
+  return result;
+}
+
+}  // namespace yoso

@@ -1,0 +1,107 @@
+#pragma once
+// The YOSO search driver (paper Fig 2, Steps 2-3) plus a random-search
+// driver with the identical interface for the Fig 6(a) comparison.
+//
+// Step 2: the RL controller iterates — propose actions, decode to a
+// (DNN, accelerator) pair, score with the fast evaluator, feed the
+// multi-objective reward back through REINFORCE.
+// Step 3: the top-N candidates by fast reward are re-scored with the
+// accurate evaluator (full training + cycle-level simulation) and the best
+// feasible one is the final solution.
+
+#include <optional>
+#include <vector>
+
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
+#include "rl/reinforce.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+/// One recorded search iteration.
+struct SearchTracePoint {
+  std::size_t iteration = 0;
+  double reward = 0.0;
+  EvalResult result;
+  CandidateDesign candidate;
+};
+
+struct SearchOptions {
+  std::size_t iterations = 3000;
+  std::size_t top_n = 10;        ///< finalists for accurate reranking
+  std::size_t trace_every = 10;  ///< record every k-th iteration
+  RewardParams reward;           ///< Eq. 2 coefficients
+  ControllerOptions controller;
+  ReinforceOptions reinforce;
+  std::uint64_t seed = 7;
+};
+
+/// A reranked finalist.
+struct RankedCandidate {
+  CandidateDesign candidate;
+  double fast_reward = 0.0;
+  double accurate_reward = 0.0;
+  EvalResult fast_result;
+  EvalResult accurate_result;
+  bool feasible = false;
+};
+
+struct SearchResult {
+  std::vector<SearchTracePoint> trace;       ///< sampled iterations
+  std::vector<RankedCandidate> finalists;    ///< top-N after reranking
+  std::optional<RankedCandidate> best;       ///< best feasible finalist
+  double best_fast_reward = 0.0;
+  std::size_t iterations_run = 0;
+};
+
+class YosoSearch {
+ public:
+  YosoSearch(const DesignSpace& space, SearchOptions options);
+
+  /// Runs Step 2 against `fast`, then Step 3 against `accurate`.
+  /// When `accurate` is null, finalists keep their fast scores.
+  SearchResult run(Evaluator& fast, Evaluator* accurate);
+
+ private:
+  const DesignSpace& space_;
+  SearchOptions options_;
+};
+
+/// Uniform random search over the same space with the same bookkeeping.
+class RandomSearchDriver {
+ public:
+  RandomSearchDriver(const DesignSpace& space, SearchOptions options);
+
+  SearchResult run(Evaluator& fast, Evaluator* accurate);
+
+ private:
+  const DesignSpace& space_;
+  SearchOptions options_;
+};
+
+/// Shared Step-3 logic: rerank `finalists` (sorted by fast reward) with the
+/// accurate evaluator and mark the best feasible candidate.
+void rerank_finalists(SearchResult& result, const RewardParams& reward,
+                      Evaluator* accurate);
+
+/// Keeps the best-`capacity` *distinct* candidates seen so far, ranked by
+/// fast reward.  Shared by all search drivers (RL, random, evolutionary,
+/// Bayesian) so their Step-3 inputs are comparable.
+class FinalistPool {
+ public:
+  explicit FinalistPool(std::size_t capacity) : capacity_(capacity) {}
+
+  void offer(const CandidateDesign& candidate, double reward,
+             const EvalResult& result);
+
+  /// Moves the collected finalists out (sorted by fast reward, desc).
+  std::vector<RankedCandidate> take() { return std::move(entries_); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<RankedCandidate> entries_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,26 @@
+#pragma once
+// CSV export/import for search artefacts: iteration traces for plotting
+// (the Fig-6 series), and finalist tables.  The CSV dialect is plain
+// comma-separated with a header row; candidate designs use the serialize.h
+// grammar so a trace row can be decoded back into a runnable design.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/search.h"
+
+namespace yoso {
+
+/// Writes the iteration trace:
+/// iteration,reward,accuracy,latency_ms,energy_mj,candidate
+void write_trace_csv(std::ostream& os, const SearchResult& result);
+
+/// Writes the reranked finalists:
+/// rank,fast_reward,accurate_reward,accuracy,latency_ms,energy_mj,feasible,candidate
+void write_finalists_csv(std::ostream& os, const SearchResult& result);
+
+/// Reads a trace written by write_trace_csv.  Throws std::invalid_argument
+/// on malformed rows (with the offending line number).
+std::vector<SearchTracePoint> read_trace_csv(std::istream& is);
+
+}  // namespace yoso

@@ -1,0 +1,44 @@
+#pragma once
+// The two-stage baseline of Table 2: take a fixed high-accuracy network
+// (stage 1 — here a reference model from the zoo, standing in for the
+// published NAS results), then exhaustively enumerate every accelerator
+// configuration and keep the best one for that network (stage 2).  The
+// "best" configuration is chosen by the same composite reward so the
+// comparison against single-stage YOSO is apples-to-apples.
+
+#include <string>
+#include <vector>
+
+#include "accel/simulator.h"
+#include "arch/zoo.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
+
+namespace yoso {
+
+/// One row of the Table-2 comparison.
+struct TwoStageRow {
+  std::string name;
+  CandidateDesign design;       ///< network + its best configuration
+  EvalResult result;            ///< accurate evaluation of that pair
+  double reward = 0.0;
+  double paper_test_error = 0.0;
+  double paper_search_gpu_days = 0.0;
+  bool feasible = false;
+  std::size_t configs_evaluated = 0;
+};
+
+/// Finds the best accelerator configuration for a fixed genotype by
+/// exhaustive enumeration under the accurate evaluator.
+TwoStageRow two_stage_best_config(const ReferenceModel& model,
+                                  const DesignSpace& space,
+                                  AccurateEvaluator& evaluator,
+                                  const RewardParams& reward);
+
+/// Runs the two-stage baseline for every reference model.
+std::vector<TwoStageRow> two_stage_baseline(const DesignSpace& space,
+                                            AccurateEvaluator& evaluator,
+                                            const RewardParams& reward);
+
+}  // namespace yoso

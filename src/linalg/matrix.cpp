@@ -1,0 +1,209 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yoso {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix{};
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols)
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::operator*: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+std::vector<double> Matrix::matvec(std::span<const double> x) const {
+  if (x.size() != cols_)
+    throw std::invalid_argument("Matrix::matvec: dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
+  if (x.size() != rows_)
+    throw std::invalid_argument("Matrix::matvec_transposed: dimension mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row_ptr = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::add_diagonal(double v) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += v;
+}
+
+Cholesky::Cholesky(const Matrix& a, double jitter) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("Cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  // Progressive jitter: retry with 10x larger diagonal boost on failure.
+  double eps = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    l_ = Matrix(n, n);
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double sum = a(i, j) + (i == j ? eps : 0.0);
+        for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+        if (i == j) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          l_(i, i) = std::sqrt(sum);
+        } else {
+          l_(i, j) = sum / l_(j, j);
+        }
+      }
+    }
+    if (ok) return;
+    eps = (eps == 0.0) ? jitter : eps * 10.0;
+  }
+  throw std::runtime_error("Cholesky: matrix not positive definite");
+}
+
+std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("Cholesky::solve_lower: size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve_lower_transposed(
+    std::span<const double> y) const {
+  const std::size_t n = l_.rows();
+  if (y.size() != n)
+    throw std::invalid_argument(
+        "Cholesky::solve_lower_transposed: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  return solve_lower_transposed(solve_lower(b));
+}
+
+double Cholesky::log_determinant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+std::vector<double> ridge_solve(const Matrix& x, std::span<const double> y,
+                                double lambda) {
+  if (x.rows() != y.size())
+    throw std::invalid_argument("ridge_solve: row count mismatch");
+  Matrix xtx = x.transpose() * x;
+  xtx.add_diagonal(lambda);
+  const std::vector<double> xty = x.matvec_transposed(y);
+  // lambda == 0 may be singular; Cholesky's progressive jitter handles
+  // near-singular gram matrices gracefully.
+  Cholesky chol(xtx);
+  return chol.solve(xty);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace yoso

@@ -1,0 +1,199 @@
+#include "nn/cell.h"
+
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) {
+  std::uint64_t x = seed;
+  x ^= (a + 1) * 0x9E3779B97F4A7C15ull;
+  x ^= (b + 1) * 0xC2B2AE3D27D4EB4Full;
+  x ^= (c + 1) * 0x165667B19E3779F9ull;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  return x;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape())
+    throw std::logic_error("cell add: branch shape mismatch " +
+                           a.shape_string() + " vs " + b.shape_string());
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] += b[i];
+  return out;
+}
+
+}  // namespace
+
+Module* OpBank::edge(int node, int input, Op op) {
+  const Key key{node, input, static_cast<int>(op)};
+  auto it = modules_.find(key);
+  if (it != modules_.end()) return it->second.get();
+
+  const int stride = (reduction_ && input < 2) ? 2 : 1;
+  Rng rng(mix(seed_, static_cast<std::uint64_t>(node),
+              static_cast<std::uint64_t>(input),
+              static_cast<std::uint64_t>(op)));
+  std::unique_ptr<Module> m;
+  if (op_is_conv(op)) {
+    auto seq = std::make_unique<Sequential>();
+    seq->add(std::make_unique<Relu>());
+    seq->add(std::make_unique<Conv2d>(channels_, channels_,
+                                      op_kernel_size(op), stride, rng));
+    m = std::move(seq);
+  } else if (op_is_depthwise(op)) {
+    auto seq = std::make_unique<Sequential>();
+    seq->add(std::make_unique<Relu>());
+    seq->add(std::make_unique<DwConv2d>(channels_, op_kernel_size(op), stride,
+                                        rng));
+    m = std::move(seq);
+  } else {
+    m = std::make_unique<Pool2d>(op_kernel_size(op), stride,
+                                 op == Op::kMaxPool3x3);
+  }
+  Module* raw = m.get();
+  modules_.emplace(key, std::move(m));
+  return raw;
+}
+
+void OpBank::collect_params(std::vector<Param*>& out) {
+  for (auto& [key, m] : modules_) m->collect_params(out);
+}
+
+void OpBank::clear_cache() {
+  for (auto& [key, m] : modules_) m->clear_cache();
+}
+
+Module* CellModule::preprocess(int slot, int in_c, int stride) {
+  const auto key = std::make_tuple(slot, in_c, stride);
+  auto it = pre_bank_.find(key);
+  if (it != pre_bank_.end()) return it->second.get();
+  Rng rng(mix(seed_ ^ 0x5DEECE66Dull, static_cast<std::uint64_t>(slot),
+              static_cast<std::uint64_t>(in_c),
+              static_cast<std::uint64_t>(stride)));
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Relu>());
+  seq->add(std::make_unique<Conv2d>(in_c, channels_, 1, stride, rng));
+  Module* raw = seq.get();
+  pre_bank_.emplace(key, std::move(seq));
+  return raw;
+}
+
+int CellModule::out_channels(const CellGenotype& path) const {
+  return static_cast<int>(loose_end_nodes(path).size()) * channels_;
+}
+
+Tensor CellModule::forward(const CellGenotype& path, const Tensor& s0,
+                           const Tensor& s1) {
+  std::string error;
+  if (!validate_cell(path, &error))
+    throw std::invalid_argument("CellModule::forward: " + error);
+
+  ForwardRecord rec;
+  rec.path = path;
+  rec.nodes.resize(kNodesPerCell);
+
+  const int stride0 = s0.dim(2) > s1.dim(2) ? 2 : 1;
+  rec.pre0 = preprocess(0, s0.dim(1), stride0);
+  rec.pre1 = preprocess(1, s1.dim(1), 1);
+  rec.nodes[0] = rec.pre0->forward(s0);
+  rec.nodes[1] = rec.pre1->forward(s1);
+
+  for (int n = 0; n < kInteriorNodes; ++n) {
+    const NodeSpec& spec = path.nodes[static_cast<std::size_t>(n)];
+    const int node = n + 2;
+    Module* ma = bank_.edge(node, spec.input_a, spec.op_a);
+    Module* mb = bank_.edge(node, spec.input_b, spec.op_b);
+    const Tensor a =
+        ma->forward(rec.nodes[static_cast<std::size_t>(spec.input_a)]);
+    const Tensor b =
+        mb->forward(rec.nodes[static_cast<std::size_t>(spec.input_b)]);
+    rec.nodes[static_cast<std::size_t>(node)] = add(a, b);
+  }
+
+  rec.loose = loose_end_nodes(path);
+
+  // Concatenate loose-end nodes along channels.
+  const Tensor& first = rec.nodes[static_cast<std::size_t>(rec.loose[0])];
+  const int n = first.dim(0), h = first.dim(2), w = first.dim(3);
+  Tensor out({n, static_cast<int>(rec.loose.size()) * channels_, h, w});
+  int c_off = 0;
+  for (int node : rec.loose) {
+    const Tensor& t = rec.nodes[static_cast<std::size_t>(node)];
+    for (int b = 0; b < n; ++b)
+      for (int c = 0; c < channels_; ++c)
+        for (int y = 0; y < h; ++y)
+          for (int x = 0; x < w; ++x)
+            out.at(b, c_off + c, y, x) = t.at(b, c, y, x);
+    c_off += channels_;
+  }
+
+  records_.push_back(std::move(rec));
+  return out;
+}
+
+std::pair<Tensor, Tensor> CellModule::backward(const Tensor& grad_out) {
+  if (records_.empty())
+    throw std::logic_error("CellModule::backward: no pending forward");
+  ForwardRecord rec = std::move(records_.back());
+  records_.pop_back();
+
+  // Zero-initialised per-node gradients.
+  std::vector<Tensor> node_grads(kNodesPerCell);
+  for (int i = 0; i < kNodesPerCell; ++i)
+    node_grads[static_cast<std::size_t>(i)] =
+        Tensor::zeros_like(rec.nodes[static_cast<std::size_t>(i)]);
+
+  // Split the concat gradient back onto the loose-end nodes.
+  {
+    const int n = grad_out.dim(0), h = grad_out.dim(2), w = grad_out.dim(3);
+    int c_off = 0;
+    for (int node : rec.loose) {
+      Tensor& g = node_grads[static_cast<std::size_t>(node)];
+      for (int b = 0; b < n; ++b)
+        for (int c = 0; c < channels_; ++c)
+          for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+              g.at(b, c, y, x) += grad_out.at(b, c_off + c, y, x);
+      c_off += channels_;
+    }
+  }
+
+  // Walk interior nodes in reverse; within a node, branch b backward first
+  // (LIFO relative to forward order a-then-b).
+  for (int n = kInteriorNodes - 1; n >= 0; --n) {
+    const NodeSpec& spec = rec.path.nodes[static_cast<std::size_t>(n)];
+    const int node = n + 2;
+    const Tensor& g = node_grads[static_cast<std::size_t>(node)];
+    Module* mb = bank_.edge(node, spec.input_b, spec.op_b);
+    Module* ma = bank_.edge(node, spec.input_a, spec.op_a);
+    const Tensor gb = mb->backward(g);
+    const Tensor ga = ma->backward(g);
+    Tensor& tb = node_grads[static_cast<std::size_t>(spec.input_b)];
+    for (std::size_t i = 0; i < tb.numel(); ++i) tb[i] += gb[i];
+    Tensor& ta = node_grads[static_cast<std::size_t>(spec.input_a)];
+    for (std::size_t i = 0; i < ta.numel(); ++i) ta[i] += ga[i];
+  }
+
+  // Preprocessing convs: pre1 was called after pre0, so backward pre1 first.
+  Tensor gs1 = rec.pre1->backward(node_grads[1]);
+  Tensor gs0 = rec.pre0->backward(node_grads[0]);
+  return {std::move(gs0), std::move(gs1)};
+}
+
+void CellModule::collect_params(std::vector<Param*>& out) {
+  for (auto& [key, m] : pre_bank_) m->collect_params(out);
+  bank_.collect_params(out);
+}
+
+void CellModule::clear_cache() {
+  for (auto& [key, m] : pre_bank_) m->clear_cache();
+  bank_.clear_cache();
+  records_.clear();
+}
+
+}  // namespace yoso

@@ -1,0 +1,98 @@
+#pragma once
+// The searchable cell as a runnable module.
+//
+// A CellModule owns a *bank* of edge operations keyed by
+// (node, input, op): every candidate operation of every edge of the cell
+// DAG has its own weights, created lazily with a deterministic per-edge
+// seed.  A forward pass takes a concrete CellGenotype ("path") and runs
+// only the selected edges — this single implementation serves both
+//   * the HyperNet (shared bank, different sampled path each step), and
+//   * standalone networks (same path every call; only those edge modules
+//     ever get created).
+//
+// Node semantics follow Eq. 5: I_i = op_a(I_j) + op_b(I_k); the cell output
+// concatenates the loose-end nodes.  In a reduction cell, edges reading the
+// cell inputs (nodes 0/1) have stride 2.
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "arch/genotype.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace yoso {
+
+/// Lazily created, deterministically seeded bank of edge operations.
+class OpBank {
+ public:
+  /// `channels`: node width; `reduction`: stride-2 edges from inputs.
+  OpBank(int channels, bool reduction, std::uint64_t seed)
+      : channels_(channels), reduction_(reduction), seed_(seed) {}
+
+  /// Returns (creating if needed) the module for edge (node <- input, op).
+  Module* edge(int node, int input, Op op);
+
+  void collect_params(std::vector<Param*>& out);
+  void clear_cache();
+  std::size_t size() const { return modules_.size(); }
+
+ private:
+  using Key = std::tuple<int, int, int>;
+  int channels_;
+  bool reduction_;
+  std::uint64_t seed_;
+  std::map<Key, std::unique_ptr<Module>> modules_;
+};
+
+/// One cell instance inside a network (fixed position => fixed widths).
+class CellModule {
+ public:
+  /// `prev_prev_c` / `prev_c`: channel counts of the two incoming feature
+  /// maps are path-dependent in a HyperNet, so preprocessing 1x1 convs are
+  /// banked by input channel count and created on demand.
+  CellModule(int channels, bool reduction, std::uint64_t seed)
+      : channels_(channels), reduction_(reduction), seed_(seed),
+        bank_(channels, reduction, seed ^ 0xA5A5A5A5ull) {}
+
+  int channels() const { return channels_; }
+  bool is_reduction() const { return reduction_; }
+
+  /// Runs the path on inputs s0 (from cell i-2) and s1 (from cell i-1).
+  /// s0 may have a larger spatial size than s1 (when cell i-1 reduced);
+  /// the preprocessing conv aligns it.
+  Tensor forward(const CellGenotype& path, const Tensor& s0, const Tensor& s1);
+
+  /// Backward for the most recent un-consumed forward (LIFO); returns
+  /// gradients w.r.t. (s0, s1).
+  std::pair<Tensor, Tensor> backward(const Tensor& grad_out);
+
+  /// Output channel count for a path: loose_ends * channels.
+  int out_channels(const CellGenotype& path) const;
+
+  void collect_params(std::vector<Param*>& out);
+  void clear_cache();
+
+ private:
+  Module* preprocess(int slot, int in_c, int stride);
+
+  struct ForwardRecord {
+    CellGenotype path;
+    std::vector<Tensor> nodes;          // node activations 0..B-1
+    std::vector<int> loose;             // loose-end node indices
+    Module* pre0 = nullptr;
+    Module* pre1 = nullptr;
+  };
+
+  int channels_;
+  bool reduction_;
+  std::uint64_t seed_;
+  OpBank bank_;
+  // (slot, in_c, stride) -> preprocessing conv
+  std::map<std::tuple<int, int, int>, std::unique_ptr<Module>> pre_bank_;
+  std::vector<ForwardRecord> records_;
+};
+
+}  // namespace yoso

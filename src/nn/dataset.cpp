@@ -1,0 +1,138 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace yoso {
+
+SynthCifar::SynthCifar(int height_width, int num_classes, std::uint64_t seed)
+    : hw_(height_width), num_classes_(num_classes) {
+  if (hw_ < 4) throw std::invalid_argument("SynthCifar: image too small");
+  if (num_classes_ < 2)
+    throw std::invalid_argument("SynthCifar: need >= 2 classes");
+  Rng rng(seed);
+  prototypes_ = Tensor({num_classes_, 3, hw_, hw_});
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    // Blob centre distinguishes classes even with similar textures.
+    const double bx = rng.uniform(0.2, 0.8) * hw_;
+    const double by = rng.uniform(0.2, 0.8) * hw_;
+    const double br = rng.uniform(0.15, 0.3) * hw_;
+    for (int ch = 0; ch < 3; ++ch) {
+      // Sum of three low-frequency sinusoids.
+      struct Wave {
+        double fx, fy, phase, amp;
+      };
+      Wave waves[3];
+      for (auto& wv : waves) {
+        wv.fx = rng.uniform(0.5, 2.5);
+        wv.fy = rng.uniform(0.5, 2.5);
+        wv.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        wv.amp = rng.uniform(0.2, 0.5);
+      }
+      const double blob_amp = rng.uniform(0.5, 1.0) * (rng.bernoulli(0.5) ? 1 : -1);
+      for (int y = 0; y < hw_; ++y) {
+        for (int x = 0; x < hw_; ++x) {
+          double v = 0.0;
+          for (const auto& wv : waves)
+            v += wv.amp * std::sin(2.0 * std::numbers::pi *
+                                       (wv.fx * x + wv.fy * y) / hw_ +
+                                   wv.phase);
+          const double d2 = (x - bx) * (x - bx) + (y - by) * (y - by);
+          v += blob_amp * std::exp(-d2 / (2.0 * br * br));
+          prototypes_.at(cls, ch, y, x) =
+              static_cast<float>(std::clamp(v, -1.0, 1.0));
+        }
+      }
+    }
+  }
+}
+
+Dataset SynthCifar::generate(int samples_per_class, std::uint64_t seed) const {
+  if (samples_per_class <= 0)
+    throw std::invalid_argument("SynthCifar::generate: non-positive count");
+  Rng rng(seed ^ 0xD1B54A32D192ED03ull);
+  const int n = samples_per_class * num_classes_;
+  Dataset ds;
+  ds.images = Tensor({n, 3, hw_, hw_});
+  ds.labels.resize(static_cast<std::size_t>(n));
+
+  // Interleave classes, then shuffle sample order.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i % num_classes_;
+  const auto perm = rng.permutation(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    const int cls = order[perm[static_cast<std::size_t>(i)]];
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    const int dx = rng.uniform_int(-2, 2);
+    const int dy = rng.uniform_int(-2, 2);
+    const double contrast = rng.uniform(0.75, 1.25);
+    const double brightness = rng.uniform(-0.15, 0.15);
+    for (int ch = 0; ch < 3; ++ch) {
+      for (int y = 0; y < hw_; ++y) {
+        for (int x = 0; x < hw_; ++x) {
+          // Circular shift keeps statistics stationary.
+          const int sy = ((y + dy) % hw_ + hw_) % hw_;
+          const int sx = ((x + dx) % hw_ + hw_) % hw_;
+          double v = prototypes_.at(cls, ch, sy, sx) * contrast + brightness;
+          v += rng.normal(0.0, 0.25);
+          ds.images.at(i, ch, y, x) =
+              static_cast<float>(std::clamp(v, -1.0, 1.0));
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+Tensor gather_batch(const Dataset& ds, std::span<const std::size_t> idx,
+                    std::vector<int>* labels) {
+  if (idx.empty()) throw std::invalid_argument("gather_batch: empty indices");
+  const int c = ds.images.dim(1), h = ds.images.dim(2), w = ds.images.dim(3);
+  Tensor batch({static_cast<int>(idx.size()), c, h, w});
+  if (labels != nullptr) labels->resize(idx.size());
+  for (std::size_t b = 0; b < idx.size(); ++b) {
+    const auto src = idx[b];
+    if (src >= ds.size()) throw std::out_of_range("gather_batch: bad index");
+    for (int ch = 0; ch < c; ++ch)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          batch.at(static_cast<int>(b), ch, y, x) =
+              ds.images.at(static_cast<int>(src), ch, y, x);
+    if (labels != nullptr) (*labels)[b] = ds.labels[src];
+  }
+  return batch;
+}
+
+void augment_batch(Tensor& images, Rng& rng, int pad) {
+  const int n = images.dim(0), c = images.dim(1), h = images.dim(2),
+            w = images.dim(3);
+  for (int b = 0; b < n; ++b) {
+    const int dy = rng.uniform_int(-pad, pad);
+    const int dx = rng.uniform_int(-pad, pad);
+    const bool flip = rng.bernoulli(0.5);
+    if (dy == 0 && dx == 0 && !flip) continue;
+    Tensor shifted({1, c, h, w});
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          const int sy = y + dy;
+          const int sx0 = flip ? (w - 1 - x) : x;
+          const int sx = sx0 + dx;
+          const float v = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                              ? images.at(b, ch, sy, sx)
+                              : 0.0f;
+          shifted.at(0, ch, y, x) = v;
+        }
+      }
+    }
+    for (int ch = 0; ch < c; ++ch)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          images.at(b, ch, y, x) = shifted.at(0, ch, y, x);
+  }
+}
+
+}  // namespace yoso

@@ -1,0 +1,56 @@
+#pragma once
+// SynthCIFAR: a procedurally generated stand-in for CIFAR-10.
+//
+// The environment has no dataset files and no GPU, so the paper's CIFAR-10
+// experiments run on a synthetic 10-class image distribution that exercises
+// the identical code path (augment -> forward -> loss -> backward -> SGD).
+// Each class is a smooth random texture (sum of low-frequency sinusoids per
+// channel) plus a class-specific blob; samples perturb the prototype with
+// random shift, contrast jitter and pixel noise, so convolutional features
+// genuinely help and architectures separate by accuracy.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+/// A labelled image set; images are (N, 3, H, W) in [-1, 1].
+struct Dataset {
+  Tensor images;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Deterministic synthetic image-classification task.
+class SynthCifar {
+ public:
+  SynthCifar(int height_width = 12, int num_classes = 10,
+             std::uint64_t seed = 7);
+
+  int height_width() const { return hw_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Generates a balanced dataset with `samples_per_class` examples per
+  /// class.  Different `seed`s give disjoint draws (train vs test).
+  Dataset generate(int samples_per_class, std::uint64_t seed) const;
+
+ private:
+  int hw_;
+  int num_classes_;
+  Tensor prototypes_;  // (classes, 3, H, W)
+};
+
+/// Gathers rows `idx` of a dataset into a batch tensor + label vector.
+Tensor gather_batch(const Dataset& ds, std::span<const std::size_t> idx,
+                    std::vector<int>* labels);
+
+/// Standard random-crop augmentation: zero-pad by `pad` then crop back at a
+/// random offset; plus random horizontal flip.
+void augment_batch(Tensor& images, Rng& rng, int pad = 2);
+
+}  // namespace yoso

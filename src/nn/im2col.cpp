@@ -1,0 +1,127 @@
+#include "nn/im2col.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+int out_size(int in, int stride) { return (in + stride - 1) / stride; }
+
+}  // namespace
+
+ColMatrix im2col(const Tensor& x, int kernel, int stride) {
+  if (x.rank() != 4) throw std::invalid_argument("im2col: need NCHW input");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int pad = kernel / 2;
+  const int oh = out_size(h, stride), ow = out_size(w, stride);
+
+  ColMatrix m;
+  m.rows = n * oh * ow;
+  m.cols = c * kernel * kernel;
+  m.data.assign(static_cast<std::size_t>(m.rows) * m.cols, 0.0f);
+
+  for (int b = 0; b < n; ++b) {
+    for (int yy = 0; yy < oh; ++yy) {
+      for (int xx = 0; xx < ow; ++xx) {
+        float* row =
+            m.data.data() +
+            (static_cast<std::size_t>(b) * oh * ow + yy * ow + xx) * m.cols;
+        for (int ci = 0; ci < c; ++ci) {
+          for (int kh = 0; kh < kernel; ++kh) {
+            const int ih = yy * stride + kh - pad;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < kernel; ++kw) {
+              const int iw = xx * stride + kw - pad;
+              if (iw < 0 || iw >= w) continue;
+              row[(ci * kernel + kh) * kernel + kw] = x.at(b, ci, ih, iw);
+            }
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+Tensor col2im(const ColMatrix& cols, const std::vector<int>& input_shape,
+              int kernel, int stride) {
+  if (input_shape.size() != 4)
+    throw std::invalid_argument("col2im: need NCHW shape");
+  Tensor gx(input_shape);
+  const int n = input_shape[0], c = input_shape[1], h = input_shape[2],
+            w = input_shape[3];
+  const int pad = kernel / 2;
+  const int oh = out_size(h, stride), ow = out_size(w, stride);
+  if (cols.rows != n * oh * ow || cols.cols != c * kernel * kernel)
+    throw std::invalid_argument("col2im: shape mismatch");
+
+  for (int b = 0; b < n; ++b) {
+    for (int yy = 0; yy < oh; ++yy) {
+      for (int xx = 0; xx < ow; ++xx) {
+        const float* row =
+            cols.data.data() +
+            (static_cast<std::size_t>(b) * oh * ow + yy * ow + xx) *
+                cols.cols;
+        for (int ci = 0; ci < c; ++ci) {
+          for (int kh = 0; kh < kernel; ++kh) {
+            const int ih = yy * stride + kh - pad;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < kernel; ++kw) {
+              const int iw = xx * stride + kw - pad;
+              if (iw < 0 || iw >= w) continue;
+              gx.at(b, ci, ih, iw) += row[(ci * kernel + kh) * kernel + kw];
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+void matmul_abt(const float* a, const float* b, float* c, int m, int n,
+                int k) {
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* bj = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int t = 0; t < k; ++t) acc += ai[t] * bj[t];
+      ci[j] = acc;
+    }
+  }
+}
+
+void matmul_ab(const float* a, const float* b, float* c, int m, int k,
+               int n) {
+  std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int t = 0; t < k; ++t) {
+      const float av = ai[t];
+      if (av == 0.0f) continue;
+      const float* bt = b + static_cast<std::size_t>(t) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bt[j];
+    }
+  }
+}
+
+void matmul_atb_acc(const float* a, const float* b, float* c, int m, int k,
+                    int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    const float* bi = b + static_cast<std::size_t>(i) * n;
+    for (int t = 0; t < k; ++t) {
+      const float av = ai[t];
+      if (av == 0.0f) continue;
+      float* ct = c + static_cast<std::size_t>(t) * n;
+      for (int j = 0; j < n; ++j) ct[j] += av * bi[j];
+    }
+  }
+}
+
+}  // namespace yoso

@@ -1,0 +1,466 @@
+#include "nn/layers.h"
+
+#include "nn/im2col.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/module.h"
+
+namespace yoso {
+
+void Module::collect_params(std::vector<Param*>&) {}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& m : children_) cur = m->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& m : children_) m->collect_params(out);
+}
+
+void Sequential::clear_cache() {
+  for (auto& m : children_) m->clear_cache();
+}
+
+namespace {
+
+int out_size(int in, int stride) { return (in + stride - 1) / stride; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int in_c, int out_c, int kernel, int stride, Rng& rng)
+    : in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(kernel / 2) {
+  weight_.value = Tensor({out_c, in_c, kernel, kernel});
+  weight_.value.he_init(rng, in_c * kernel * kernel);
+  weight_.ensure_grad();
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != in_c_)
+    throw std::invalid_argument("Conv2d::forward: bad input shape " +
+                                x.shape_string());
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h, stride_), ow = out_size(w, stride_);
+
+  // Lowered path: out(pixel, co) = cols(pixel, :) . W(co, :).
+  const ColMatrix cols = im2col(x, kernel_, stride_);
+  std::vector<float> out_mat(static_cast<std::size_t>(cols.rows) * out_c_);
+  matmul_abt(cols.data.data(), weight_.value.data().data(), out_mat.data(),
+             cols.rows, out_c_, cols.cols);
+
+  Tensor y({n, out_c_, oh, ow});
+  for (int b = 0; b < n; ++b)
+    for (int yy = 0; yy < oh; ++yy)
+      for (int xx = 0; xx < ow; ++xx) {
+        const float* row = out_mat.data() +
+                           (static_cast<std::size_t>(b) * oh * ow + yy * ow +
+                            xx) * out_c_;
+        for (int co = 0; co < out_c_; ++co) y.at(b, co, yy, xx) = row[co];
+      }
+  cache_.push_back(x);
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cache_.empty()) throw std::logic_error("Conv2d::backward: empty cache");
+  Tensor x = std::move(cache_.back());
+  cache_.pop_back();
+  const int n = x.dim(0);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  weight_.ensure_grad();
+  weight_.dirty = true;
+
+  // Re-lower the cached input and flatten the upstream gradient to
+  // (pixels x out_c) so both products are plain GEMMs.
+  const ColMatrix cols = im2col(x, kernel_, stride_);
+  std::vector<float> dout(static_cast<std::size_t>(cols.rows) * out_c_);
+  for (int b = 0; b < n; ++b)
+    for (int yy = 0; yy < oh; ++yy)
+      for (int xx = 0; xx < ow; ++xx) {
+        float* row = dout.data() +
+                     (static_cast<std::size_t>(b) * oh * ow + yy * ow + xx) *
+                         out_c_;
+        for (int co = 0; co < out_c_; ++co) row[co] = grad_out.at(b, co, yy, xx);
+      }
+
+  // dW(co, :) += sum_pixels dout(pixel, co) * cols(pixel, :).
+  matmul_atb_acc(dout.data(), cols.data.data(), weight_.grad.data().data(),
+                 cols.rows, out_c_, cols.cols);
+
+  // dcols = dout * W, then scatter back to the input gradient.
+  ColMatrix dcols;
+  dcols.rows = cols.rows;
+  dcols.cols = cols.cols;
+  dcols.data.resize(cols.data.size());
+  matmul_ab(dout.data(), weight_.value.data().data(), dcols.data.data(),
+            cols.rows, out_c_, cols.cols);
+  return col2im(dcols, x.shape(), kernel_, stride_);
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+}
+
+void Conv2d::clear_cache() { cache_.clear(); }
+
+// -------------------------------------------------------------- DwConv2d
+
+DwConv2d::DwConv2d(int channels, int kernel, int stride, Rng& rng)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(kernel / 2) {
+  weight_.value = Tensor({channels, 1, kernel, kernel});
+  weight_.value.he_init(rng, kernel * kernel);
+  weight_.ensure_grad();
+}
+
+Tensor DwConv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != channels_)
+    throw std::invalid_argument("DwConv2d::forward: bad input shape " +
+                                x.shape_string());
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h, stride_), ow = out_size(w, stride_);
+  Tensor y({n, channels_, oh, ow});
+  for (int b = 0; b < n; ++b) {
+    for (int c = 0; c < channels_; ++c) {
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx) {
+          float acc = 0.0f;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int ih = yy * stride_ + kh - pad_;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int iw = xx * stride_ + kw - pad_;
+              if (iw < 0 || iw >= w) continue;
+              acc += x.at(b, c, ih, iw) * weight_.value.at(c, 0, kh, kw);
+            }
+          }
+          y.at(b, c, yy, xx) = acc;
+        }
+      }
+    }
+  }
+  cache_.push_back(x);
+  return y;
+}
+
+Tensor DwConv2d::backward(const Tensor& grad_out) {
+  if (cache_.empty()) throw std::logic_error("DwConv2d::backward: empty cache");
+  Tensor x = std::move(cache_.back());
+  cache_.pop_back();
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor gx = Tensor::zeros_like(x);
+  weight_.ensure_grad();
+  weight_.dirty = true;
+  for (int b = 0; b < n; ++b) {
+    for (int c = 0; c < channels_; ++c) {
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx) {
+          const float g = grad_out.at(b, c, yy, xx);
+          if (g == 0.0f) continue;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int ih = yy * stride_ + kh - pad_;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int iw = xx * stride_ + kw - pad_;
+              if (iw < 0 || iw >= w) continue;
+              weight_.grad.at(c, 0, kh, kw) += g * x.at(b, c, ih, iw);
+              gx.at(b, c, ih, iw) += g * weight_.value.at(c, 0, kh, kw);
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+void DwConv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+}
+
+void DwConv2d::clear_cache() { cache_.clear(); }
+
+// ---------------------------------------------------------------- Pool2d
+
+Pool2d::Pool2d(int kernel, int stride, bool max_pool)
+    : kernel_(kernel), stride_(stride), pad_(kernel / 2), max_pool_(max_pool) {}
+
+Tensor Pool2d::forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h, stride_), ow = out_size(w, stride_);
+  Tensor y({n, c, oh, ow});
+  Cache cache;
+  cache.in_shape = x.shape();
+  if (max_pool_) cache.argmax.resize(y.numel());
+  else cache.counts.resize(y.numel());
+  std::size_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx, ++oi) {
+          float best = -1e30f;
+          float sum = 0.0f;
+          int best_idx = -1;
+          int count = 0;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int ih = yy * stride_ + kh - pad_;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int iw = xx * stride_ + kw - pad_;
+              if (iw < 0 || iw >= w) continue;
+              const float v = x.at(b, ch, ih, iw);
+              sum += v;
+              ++count;
+              if (v > best) {
+                best = v;
+                best_idx =
+                    ((b * c + ch) * h + ih) * w + iw;
+              }
+            }
+          }
+          if (max_pool_) {
+            y.at(b, ch, yy, xx) = count > 0 ? best : 0.0f;
+            cache.argmax[oi] = best_idx;
+          } else {
+            y.at(b, ch, yy, xx) = count > 0 ? sum / count : 0.0f;
+            cache.counts[oi] = count;
+          }
+        }
+      }
+    }
+  }
+  cache_.push_back(std::move(cache));
+  return y;
+}
+
+Tensor Pool2d::backward(const Tensor& grad_out) {
+  if (cache_.empty()) throw std::logic_error("Pool2d::backward: empty cache");
+  Cache cache = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor gx(cache.in_shape);
+  const int n = grad_out.dim(0), c = grad_out.dim(1);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int h = cache.in_shape[2], w = cache.in_shape[3];
+  std::size_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx, ++oi) {
+          const float g = grad_out.at(b, ch, yy, xx);
+          if (g == 0.0f) continue;
+          if (max_pool_) {
+            const int idx = cache.argmax[oi];
+            if (idx >= 0) gx[static_cast<std::size_t>(idx)] += g;
+          } else {
+            const int count = cache.counts[oi];
+            if (count <= 0) continue;
+            const float share = g / count;
+            for (int kh = 0; kh < kernel_; ++kh) {
+              const int ih = yy * stride_ + kh - pad_;
+              if (ih < 0 || ih >= h) continue;
+              for (int kw = 0; kw < kernel_; ++kw) {
+                const int iw = xx * stride_ + kw - pad_;
+                if (iw < 0 || iw >= w) continue;
+                gx.at(b, ch, ih, iw) += share;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+void Pool2d::clear_cache() { cache_.clear(); }
+
+// ------------------------------------------------------------------ Relu
+
+Tensor Relu::forward(const Tensor& x) {
+  Tensor y = x;
+  std::vector<char> mask(x.numel());
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    mask[i] = y[i] > 0.0f;
+    if (!mask[i]) y[i] = 0.0f;
+  }
+  cache_.push_back(std::move(mask));
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  if (cache_.empty()) throw std::logic_error("Relu::backward: empty cache");
+  std::vector<char> mask = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor gx = grad_out;
+  for (std::size_t i = 0; i < gx.numel(); ++i)
+    if (!mask[i]) gx[i] = 0.0f;
+  return gx;
+}
+
+void Relu::clear_cache() { cache_.clear(); }
+
+// --------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({n, c});
+  const float scale = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      for (int yy = 0; yy < h; ++yy)
+        for (int xx = 0; xx < w; ++xx) acc += x.at(b, ch, yy, xx);
+      y.at2(b, ch) = acc * scale;
+    }
+  }
+  cache_.push_back(x.shape());
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cache_.empty())
+    throw std::logic_error("GlobalAvgPool::backward: empty cache");
+  std::vector<int> shape = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor gx(shape);
+  const int n = shape[0], c = shape[1], h = shape[2], w = shape[3];
+  const float scale = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at2(b, ch) * scale;
+      for (int yy = 0; yy < h; ++yy)
+        for (int xx = 0; xx < w; ++xx) gx.at(b, ch, yy, xx) = g;
+    }
+  return gx;
+}
+
+void GlobalAvgPool::clear_cache() { cache_.clear(); }
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_.value = Tensor({out_features, in_features});
+  weight_.value.he_init(rng, in_features);
+  weight_.ensure_grad();
+  bias_.value = Tensor({out_features});
+  bias_.ensure_grad();
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_features_)
+    throw std::invalid_argument("Linear::forward: bad input shape " +
+                                x.shape_string());
+  const int n = x.dim(0);
+  Tensor y({n, out_features_});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < out_features_; ++o) {
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_features_; ++i)
+        acc += x.at2(b, i) *
+               weight_.value[static_cast<std::size_t>(o) * in_features_ + i];
+      y.at2(b, o) = acc;
+    }
+  cache_.push_back(x);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (cache_.empty()) throw std::logic_error("Linear::backward: empty cache");
+  Tensor x = std::move(cache_.back());
+  cache_.pop_back();
+  const int n = x.dim(0);
+  Tensor gx = Tensor::zeros_like(x);
+  weight_.ensure_grad();
+  bias_.ensure_grad();
+  weight_.dirty = true;
+  bias_.dirty = true;
+  for (int b = 0; b < n; ++b) {
+    for (int o = 0; o < out_features_; ++o) {
+      const float g = grad_out.at2(b, o);
+      if (g == 0.0f) continue;
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      for (int i = 0; i < in_features_; ++i) {
+        weight_.grad[static_cast<std::size_t>(o) * in_features_ + i] +=
+            g * x.at2(b, i);
+        gx.at2(b, i) +=
+            g * weight_.value[static_cast<std::size_t>(o) * in_features_ + i];
+      }
+    }
+  }
+  return gx;
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+void Linear::clear_cache() { cache_.clear(); }
+
+// ------------------------------------------------- softmax cross-entropy
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int>& labels, Tensor* grad) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  if (static_cast<std::size_t>(n) != labels.size())
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  if (grad != nullptr) *grad = Tensor({n, k});
+  double loss = 0.0;
+  for (int b = 0; b < n; ++b) {
+    float maxv = logits.at2(b, 0);
+    for (int c = 1; c < k; ++c) maxv = std::max(maxv, logits.at2(b, c));
+    double denom = 0.0;
+    for (int c = 0; c < k; ++c)
+      denom += std::exp(static_cast<double>(logits.at2(b, c)) - maxv);
+    const int label = labels[static_cast<std::size_t>(b)];
+    if (label < 0 || label >= k)
+      throw std::invalid_argument("softmax_cross_entropy: bad label");
+    const double logp =
+        static_cast<double>(logits.at2(b, label)) - maxv - std::log(denom);
+    loss -= logp;
+    if (grad != nullptr) {
+      for (int c = 0; c < k; ++c) {
+        const double p =
+            std::exp(static_cast<double>(logits.at2(b, c)) - maxv) / denom;
+        grad->at2(b, c) =
+            static_cast<float>((p - (c == label ? 1.0 : 0.0)) / n);
+      }
+    }
+  }
+  return loss / n;
+}
+
+int count_correct(const Tensor& logits, const std::vector<int>& labels) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  int correct = 0;
+  for (int b = 0; b < n; ++b) {
+    int best = 0;
+    for (int c = 1; c < k; ++c)
+      if (logits.at2(b, c) > logits.at2(b, best)) best = c;
+    if (best == labels[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace yoso

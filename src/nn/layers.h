@@ -1,0 +1,118 @@
+#pragma once
+// Concrete NN layers with explicit forward/backward: dense and depthwise
+// convolutions (same padding), max/avg pooling, ReLU, linear classifier and
+// global average pooling.  Shapes follow the accelerator model: for stride s
+// and kernel k, padding is k/2 and out = ceil(in / s).
+
+#include <memory>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+/// Dense 2-D convolution, NCHW, same padding, no bias (bias is folded into
+/// the classifier; cells use ReLU-Conv compositions).
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_c, int out_c, int kernel, int stride, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void clear_cache() override;
+
+  Param& weight() { return weight_; }
+
+ private:
+  int in_c_, out_c_, kernel_, stride_, pad_;
+  Param weight_;  // (out_c, in_c, k, k)
+  std::vector<Tensor> cache_;
+};
+
+/// Depthwise 2-D convolution: one kxk filter per channel.
+class DwConv2d : public Module {
+ public:
+  DwConv2d(int channels, int kernel, int stride, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void clear_cache() override;
+
+  Param& weight() { return weight_; }
+
+ private:
+  int channels_, kernel_, stride_, pad_;
+  Param weight_;  // (channels, 1, k, k)
+  std::vector<Tensor> cache_;
+};
+
+/// Max or average pooling, same padding.
+class Pool2d : public Module {
+ public:
+  Pool2d(int kernel, int stride, bool max_pool);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void clear_cache() override;
+
+ private:
+  struct Cache {
+    std::vector<int> argmax;  // flat input index per output element (max)
+    std::vector<int> in_shape;
+    std::vector<int> counts;  // contributing window size (avg)
+  };
+  int kernel_, stride_, pad_;
+  bool max_pool_;
+  std::vector<Cache> cache_;
+};
+
+/// Elementwise ReLU.
+class Relu : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void clear_cache() override;
+
+ private:
+  std::vector<std::vector<char>> cache_;  // positive mask
+};
+
+/// Global average pooling: (N,C,H,W) -> (N,C).
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void clear_cache() override;
+
+ private:
+  std::vector<std::vector<int>> cache_;  // input shapes
+};
+
+/// Fully connected layer with bias: (N,C) -> (N,M).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void clear_cache() override;
+
+ private:
+  int in_features_, out_features_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  std::vector<Tensor> cache_;
+};
+
+/// Softmax cross-entropy over (N, K) logits.  Returns mean loss and writes
+/// d(loss)/d(logits) into `grad` (same shape as logits).
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int>& labels, Tensor* grad);
+
+/// Number of correct argmax predictions.
+int count_correct(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace yoso

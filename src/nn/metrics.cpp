@@ -1,0 +1,114 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace yoso {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  if (num_classes < 2)
+    throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+}
+
+void ConfusionMatrix::add_batch(const Tensor& logits,
+                                const std::vector<int>& labels) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  if (k != num_classes_)
+    throw std::invalid_argument("ConfusionMatrix: class count mismatch");
+  if (static_cast<std::size_t>(n) != labels.size())
+    throw std::invalid_argument("ConfusionMatrix: label count mismatch");
+  for (int b = 0; b < n; ++b) {
+    int best = 0;
+    for (int c = 1; c < k; ++c)
+      if (logits.at2(b, c) > logits.at2(b, best)) best = c;
+    const int truth = labels[static_cast<std::size_t>(b)];
+    if (truth < 0 || truth >= num_classes_)
+      throw std::invalid_argument("ConfusionMatrix: bad label");
+    ++counts_[static_cast<std::size_t>(truth) * num_classes_ + best];
+    ++total_;
+  }
+}
+
+long long ConfusionMatrix::at(int true_class, int predicted) const {
+  return counts_[static_cast<std::size_t>(true_class) * num_classes_ +
+                 predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  long long correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int true_class) const {
+  long long row = 0;
+  for (int c = 0; c < num_classes_; ++c) row += at(true_class, c);
+  return row == 0 ? 0.0
+                  : static_cast<double>(at(true_class, true_class)) /
+                        static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(int predicted) const {
+  long long col = 0;
+  for (int c = 0; c < num_classes_; ++c) col += at(c, predicted);
+  return col == 0 ? 0.0
+                  : static_cast<double>(at(predicted, predicted)) /
+                        static_cast<double>(col);
+}
+
+std::pair<int, int> ConfusionMatrix::worst_confusion() const {
+  std::pair<int, int> worst{0, 1};
+  long long best_count = -1;
+  for (int t = 0; t < num_classes_; ++t)
+    for (int p = 0; p < num_classes_; ++p) {
+      if (t == p) continue;
+      if (at(t, p) > best_count) {
+        best_count = at(t, p);
+        worst = {t, p};
+      }
+    }
+  return worst;
+}
+
+double top_k_accuracy(const Tensor& logits, const std::vector<int>& labels,
+                      int k) {
+  const int n = logits.dim(0), classes = logits.dim(1);
+  if (k < 1 || k > classes)
+    throw std::invalid_argument("top_k_accuracy: bad k");
+  if (static_cast<std::size_t>(n) != labels.size())
+    throw std::invalid_argument("top_k_accuracy: label count mismatch");
+  int hits = 0;
+  for (int b = 0; b < n; ++b) {
+    const float truth_logit = logits.at2(b, labels[static_cast<std::size_t>(b)]);
+    int strictly_above = 0;
+    for (int c = 0; c < classes; ++c)
+      if (logits.at2(b, c) > truth_logit) ++strictly_above;
+    if (strictly_above < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+ConfusionMatrix evaluate_confusion(PathNetwork& network, const Genotype& path,
+                                   const Dataset& ds, int batch_size) {
+  ConfusionMatrix cm(network.skeleton().num_classes);
+  std::size_t pos = 0;
+  while (pos < ds.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(batch_size),
+                              ds.size() - pos);
+    std::vector<std::size_t> idx(take);
+    for (std::size_t i = 0; i < take; ++i) idx[i] = pos + i;
+    std::vector<int> labels;
+    const Tensor batch = gather_batch(ds, idx, &labels);
+    const Tensor logits = network.forward(path, batch);
+    cm.add_batch(logits, labels);
+    pos += take;
+  }
+  network.clear_cache();
+  return cm;
+}
+
+}  // namespace yoso

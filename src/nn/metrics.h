@@ -1,0 +1,51 @@
+#pragma once
+// Classification metrics beyond top-1 accuracy: confusion matrix, per-class
+// recall, and top-k accuracy.  Used by the examples to inspect *what* a
+// searched network gets wrong, not just how often.
+
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+namespace yoso {
+
+/// Row-major confusion matrix: entry (true_class, predicted_class).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Adds one batch of argmax predictions.
+  void add_batch(const Tensor& logits, const std::vector<int>& labels);
+
+  int num_classes() const { return num_classes_; }
+  long long at(int true_class, int predicted) const;
+  long long total() const { return total_; }
+
+  /// Overall top-1 accuracy.
+  double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 when the class is absent.
+  double recall(int true_class) const;
+
+  /// Precision of one class (diagonal / column sum); 0 when never predicted.
+  double precision(int predicted) const;
+
+  /// The most confused (true, predicted) off-diagonal pair.
+  std::pair<int, int> worst_confusion() const;
+
+ private:
+  int num_classes_;
+  long long total_ = 0;
+  std::vector<long long> counts_;  // num_classes^2
+};
+
+/// Fraction of samples whose true label is among the k highest logits.
+double top_k_accuracy(const Tensor& logits, const std::vector<int>& labels,
+                      int k);
+
+/// Runs a path over a dataset and fills a confusion matrix.
+ConfusionMatrix evaluate_confusion(PathNetwork& network, const Genotype& path,
+                                   const Dataset& ds, int batch_size);
+
+}  // namespace yoso

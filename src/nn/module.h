@@ -1,0 +1,62 @@
+#pragma once
+// Autograd-lite module interface.  Each module implements an explicit
+// forward and backward; forward pushes whatever it needs onto an internal
+// cache stack and backward pops it, so one module instance can appear more
+// than once in a computation graph (the HyperNet shares edge modules across
+// sampled paths, and a sampled cell may use the same edge twice).
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace yoso {
+
+/// A trainable parameter: value, accumulated gradient, optimiser slot.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  Tensor momentum;     ///< SGD momentum buffer (lazily sized)
+  bool dirty = false;  ///< true when grad holds contributions this step
+
+  void ensure_grad() {
+    if (grad.numel() != value.numel()) grad = Tensor::zeros_like(value);
+  }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes outputs; must push backward state onto the cache stack.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Propagates gradients; must pop the cache stack (LIFO relative to
+  /// forward calls) and accumulate into parameter grads.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends this module's parameters (default: none).
+  virtual void collect_params(std::vector<Param*>& out);
+
+  /// Clears any cached forward state (e.g. before evaluation-only passes
+  /// where backward will not be called).
+  virtual void clear_cache() = 0;
+};
+
+/// Runs a list of modules in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  void add(std::unique_ptr<Module> m) { children_.push_back(std::move(m)); }
+  std::size_t size() const { return children_.size(); }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void clear_cache() override;
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,140 @@
+#include "nn/network.h"
+
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+std::uint64_t mix2(std::uint64_t seed, std::uint64_t a) {
+  std::uint64_t x = seed ^ ((a + 1) * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+PathNetwork::PathNetwork(const NetworkSkeleton& skeleton, std::uint64_t seed)
+    : skeleton_(skeleton), seed_(seed) {
+  if (skeleton_.cells.empty())
+    throw std::invalid_argument("PathNetwork: empty skeleton");
+  Rng stem_rng(mix2(seed_, 0));
+  stem_ = std::make_unique<Conv2d>(skeleton_.input_channels,
+                                   skeleton_.stem_channels, 3, 1, stem_rng);
+  int filters = skeleton_.stem_channels;
+  for (std::size_t i = 0; i < skeleton_.cells.size(); ++i) {
+    const bool reduce = skeleton_.cells[i] == CellKind::kReduction;
+    if (reduce) filters *= 2;
+    cells_.push_back(
+        std::make_unique<CellModule>(filters, reduce, mix2(seed_, i + 1)));
+  }
+}
+
+Linear* PathNetwork::classifier(int in_features) {
+  auto it = classifier_bank_.find(in_features);
+  if (it != classifier_bank_.end()) return it->second.get();
+  Rng rng(mix2(seed_ ^ 0xC0FFEEull, static_cast<std::uint64_t>(in_features)));
+  auto lin =
+      std::make_unique<Linear>(in_features, skeleton_.num_classes, rng);
+  Linear* raw = lin.get();
+  classifier_bank_.emplace(in_features, std::move(lin));
+  return raw;
+}
+
+Tensor PathNetwork::forward(const Genotype& path, const Tensor& images) {
+  ForwardRecord rec;
+  rec.path = path;
+  rec.outputs.reserve(cells_.size() + 1);
+  rec.outputs.push_back(stem_->forward(images));
+
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Tensor& s0 = rec.outputs[i >= 1 ? i - 1 : 0];
+    const Tensor& s1 = rec.outputs[i];
+    const CellGenotype& cell_path =
+        cells_[i]->is_reduction() ? path.reduction : path.normal;
+    rec.outputs.push_back(cells_[i]->forward(cell_path, s0, s1));
+  }
+
+  const Tensor pooled = gap_.forward(rec.outputs.back());
+  rec.classifier = classifier(pooled.dim(1));
+  Tensor logits = rec.classifier->forward(pooled);
+  records_.push_back(std::move(rec));
+  return logits;
+}
+
+void PathNetwork::backward(const Tensor& grad_logits) {
+  if (records_.empty())
+    throw std::logic_error("PathNetwork::backward: no pending forward");
+  ForwardRecord rec = std::move(records_.back());
+  records_.pop_back();
+
+  Tensor grad_pooled = rec.classifier->backward(grad_logits);
+  Tensor grad_last = gap_.backward(grad_pooled);
+
+  std::vector<Tensor> out_grads(rec.outputs.size());
+  for (std::size_t i = 0; i < rec.outputs.size(); ++i)
+    out_grads[i] = Tensor::zeros_like(rec.outputs[i]);
+  out_grads.back() = std::move(grad_last);
+
+  for (std::size_t ii = cells_.size(); ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    auto [gs0, gs1] = cells_[i]->backward(out_grads[i + 1]);
+    const std::size_t s0_idx = i >= 1 ? i - 1 : 0;
+    Tensor& t0 = out_grads[s0_idx];
+    for (std::size_t k = 0; k < t0.numel(); ++k) t0[k] += gs0[k];
+    Tensor& t1 = out_grads[i];
+    for (std::size_t k = 0; k < t1.numel(); ++k) t1[k] += gs1[k];
+  }
+  stem_->backward(out_grads[0]);  // gradient w.r.t. images discarded
+}
+
+void PathNetwork::collect_params(std::vector<Param*>& out) {
+  stem_->collect_params(out);
+  for (auto& c : cells_) c->collect_params(out);
+  for (auto& [k, lin] : classifier_bank_) lin->collect_params(out);
+}
+
+double PathNetwork::evaluate(const Genotype& path, const Dataset& ds,
+                             int batch_size, int max_batches) {
+  if (ds.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  std::size_t correct = 0, seen = 0;
+  std::size_t pos = 0;
+  int batches = 0;
+  while (pos < ds.size() &&
+         (max_batches < 0 || batches < max_batches)) {
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(batch_size),
+                              ds.size() - pos);
+    std::vector<std::size_t> idx(take);
+    for (std::size_t i = 0; i < take; ++i) idx[i] = pos + i;
+    std::vector<int> labels;
+    const Tensor batch = gather_batch(ds, idx, &labels);
+    const Tensor logits = forward(path, batch);
+    correct += static_cast<std::size_t>(count_correct(logits, labels));
+    seen += take;
+    pos += take;
+    ++batches;
+  }
+  clear_cache();
+  return seen == 0 ? 0.0 : static_cast<double>(correct) / seen;
+}
+
+void PathNetwork::clear_cache() {
+  stem_->clear_cache();
+  for (auto& c : cells_) c->clear_cache();
+  gap_.clear_cache();
+  for (auto& [k, lin] : classifier_bank_) lin->clear_cache();
+  records_.clear();
+}
+
+std::size_t PathNetwork::param_count() {
+  std::vector<Param*> params;
+  collect_params(params);
+  std::size_t total = 0;
+  for (const Param* p : params) total += p->value.numel();
+  return total;
+}
+
+}  // namespace yoso

@@ -1,0 +1,71 @@
+#pragma once
+// Path-conditioned network: stem conv -> stacked CellModules -> global
+// average pooling -> linear classifier.
+//
+// One class serves two roles (paper §III.D):
+//  * HyperNet — weights live in per-cell op banks; each call runs the
+//    sub-model selected by the Genotype path with inherited weights;
+//  * standalone model — construct with the same skeleton and always pass
+//    the same path; only that path's modules are ever created or trained.
+//
+// Because the cell output width depends on the path (loose ends x filters),
+// the preprocessing convs and the classifier are banked by input width.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "nn/cell.h"
+#include "nn/dataset.h"
+#include "nn/layers.h"
+
+namespace yoso {
+
+class PathNetwork {
+ public:
+  PathNetwork(const NetworkSkeleton& skeleton, std::uint64_t seed);
+
+  const NetworkSkeleton& skeleton() const { return skeleton_; }
+
+  /// Forward pass of the sub-model selected by `path`; returns logits (N,K).
+  Tensor forward(const Genotype& path, const Tensor& images);
+
+  /// Backward for the most recent forward.  `grad_logits` is
+  /// d(loss)/d(logits).
+  void backward(const Tensor& grad_logits);
+
+  /// All parameters created so far (HyperNet weight bank).
+  void collect_params(std::vector<Param*>& out);
+
+  /// Top-1 accuracy of a path on a dataset (forward-only; caches cleared).
+  /// `max_batches` < 0 means the whole set.
+  double evaluate(const Genotype& path, const Dataset& ds, int batch_size,
+                  int max_batches = -1);
+
+  /// Drops all cached forward state (after eval-only passes).
+  void clear_cache();
+
+  /// Number of parameters currently materialised.
+  std::size_t param_count();
+
+ private:
+  Linear* classifier(int in_features);
+
+  struct ForwardRecord {
+    Genotype path;
+    std::vector<Tensor> outputs;  // outputs[0]=stem, outputs[i+1]=cell i
+    Linear* classifier = nullptr;
+  };
+
+  NetworkSkeleton skeleton_;
+  std::uint64_t seed_;
+  std::unique_ptr<Conv2d> stem_;
+  std::vector<std::unique_ptr<CellModule>> cells_;
+  GlobalAvgPool gap_;
+  std::map<int, std::unique_ptr<Linear>> classifier_bank_;
+  std::vector<ForwardRecord> records_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,38 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace yoso {
+
+void SgdOptimizer::step(const std::vector<Param*>& params, double lr) {
+  for (Param* p : params) {
+    if (!p->dirty) continue;
+    if (p->momentum.numel() != p->value.numel())
+      p->momentum = Tensor::zeros_like(p->value);
+    auto w = p->value.data();
+    auto g = p->grad.data();
+    auto m = p->momentum.data();
+    const auto mu = static_cast<float>(momentum_);
+    const auto wd = static_cast<float>(weight_decay_);
+    const auto eta = static_cast<float>(lr);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = mu * m[i] + g[i] + wd * w[i];
+      w[i] -= eta * m[i];
+      g[i] = 0.0f;
+    }
+    p->dirty = false;
+  }
+}
+
+double cosine_lr(std::size_t step, std::size_t total_steps, double lr_max,
+                 double lr_min) {
+  if (total_steps <= 1) return lr_min;
+  const double t =
+      std::min(1.0, static_cast<double>(step) / (total_steps - 1));
+  return lr_min +
+         0.5 * (lr_max - lr_min) * (1.0 + std::cos(std::numbers::pi * t));
+}
+
+}  // namespace yoso

@@ -1,0 +1,33 @@
+#pragma once
+// SGD with momentum, L2 weight decay, and the paper's cosine learning-rate
+// schedule (§IV.B: momentum 0.9, lr 0.05 -> 0.0001, weight decay 4e-5).
+// Only parameters marked dirty (touched by the sampled path's backward) are
+// updated — the HyperNet "only update[s] the parameters of the selected
+// paths".
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace yoso {
+
+class SgdOptimizer {
+ public:
+  SgdOptimizer(double momentum = 0.9, double weight_decay = 4e-5)
+      : momentum_(momentum), weight_decay_(weight_decay) {}
+
+  /// Applies one update at learning rate `lr` to every dirty param; zeroes
+  /// their grads and clears dirty flags.  Clean params are untouched.
+  void step(const std::vector<Param*>& params, double lr);
+
+ private:
+  double momentum_;
+  double weight_decay_;
+};
+
+/// Cosine decay from lr_max to lr_min over total_steps.
+double cosine_lr(std::size_t step, std::size_t total_steps, double lr_max,
+                 double lr_min);
+
+}  // namespace yoso

@@ -1,0 +1,88 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yoso {
+
+QuantizationStats quantize_parameters(std::vector<Param*>& params, int bits) {
+  if (bits < 2 || bits > 16)
+    throw std::invalid_argument("quantize_parameters: bits must be in 2..16");
+  QuantizationStats stats;
+  stats.bits = bits;
+  const double qmax = static_cast<double>((1 << (bits - 1)) - 1);
+  double abs_err_sum = 0.0;
+
+  for (Param* p : params) {
+    float max_abs = 0.0f;
+    for (float v : p->value.data()) max_abs = std::max(max_abs, std::abs(v));
+    ++stats.tensors;
+    if (max_abs == 0.0f) {
+      stats.values += p->value.numel();
+      continue;  // all-zero tensor quantises to itself
+    }
+    const double scale = max_abs / qmax;
+    for (float& v : p->value.data()) {
+      const double q = std::clamp(std::round(v / scale), -qmax - 1.0, qmax);
+      const double deq = q * scale;
+      const double err = std::abs(deq - v);
+      stats.max_abs_error = std::max(stats.max_abs_error, err);
+      abs_err_sum += err;
+      v = static_cast<float>(deq);
+      ++stats.values;
+    }
+  }
+  stats.mean_abs_error =
+      stats.values > 0 ? abs_err_sum / static_cast<double>(stats.values) : 0.0;
+  return stats;
+}
+
+WeightSnapshot::WeightSnapshot(PathNetwork& network) : network_(network) {
+  std::vector<Param*> params;
+  network_.collect_params(params);
+  saved_.reserve(params.size());
+  for (const Param* p : params) {
+    const auto span = p->value.data();
+    saved_.emplace_back(span.begin(), span.end());
+  }
+}
+
+void WeightSnapshot::restore() {
+  if (restored_) return;
+  std::vector<Param*> params;
+  network_.collect_params(params);
+  // Parameters are created lazily; new tensors may have appeared since the
+  // snapshot, but the snapshot's prefix always matches collect order for an
+  // unchanged network.  Restore what we saved.
+  const std::size_t n = std::min(params.size(), saved_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto span = params[i]->value.data();
+    if (span.size() != saved_[i].size())
+      throw std::logic_error("WeightSnapshot: parameter shape changed");
+    std::copy(saved_[i].begin(), saved_[i].end(), span.begin());
+  }
+  restored_ = true;
+}
+
+WeightSnapshot::~WeightSnapshot() {
+  try {
+    restore();
+  } catch (...) {
+    // Destructor must not throw; a shape change would already have been a
+    // logic error during explicit use.
+  }
+}
+
+double evaluate_quantized(PathNetwork& network, const Genotype& path,
+                          const Dataset& ds, int bits, int batch_size) {
+  WeightSnapshot snapshot(network);
+  std::vector<Param*> params;
+  network.collect_params(params);
+  quantize_parameters(params, bits);
+  const double acc = network.evaluate(path, ds, batch_size);
+  snapshot.restore();
+  return acc;
+}
+
+}  // namespace yoso

@@ -1,0 +1,54 @@
+#pragma once
+// Post-training quantisation of trained path networks.
+//
+// The accelerator template models a 16-bit fixed-point datapath (see
+// accel/tech.h); deployment on it implies quantising the trained weights.
+// This module provides simulated symmetric per-tensor quantisation
+// (quantise -> dequantise in place), an RAII guard that restores the
+// original float weights, and an evaluation helper for accuracy-vs-bits
+// sweeps — the check a deployment engineer runs before committing to a
+// datapath width.
+
+#include <vector>
+
+#include "nn/network.h"
+
+namespace yoso {
+
+struct QuantizationStats {
+  int bits = 0;
+  std::size_t tensors = 0;          ///< parameter tensors quantised
+  std::size_t values = 0;           ///< total weights quantised
+  double max_abs_error = 0.0;       ///< worst |w - q(w)| over all weights
+  double mean_abs_error = 0.0;
+};
+
+/// Symmetric per-tensor quantisation applied in place (simulated:
+/// values become the dequantised grid points).  bits must be in [2, 16].
+/// Returns per-run statistics.
+QuantizationStats quantize_parameters(std::vector<Param*>& params, int bits);
+
+/// RAII: snapshots all current parameter values of a network and restores
+/// them on destruction (or explicit restore()).
+class WeightSnapshot {
+ public:
+  explicit WeightSnapshot(PathNetwork& network);
+  ~WeightSnapshot();
+
+  WeightSnapshot(const WeightSnapshot&) = delete;
+  WeightSnapshot& operator=(const WeightSnapshot&) = delete;
+
+  void restore();
+
+ private:
+  PathNetwork& network_;
+  std::vector<std::vector<float>> saved_;
+  bool restored_ = false;
+};
+
+/// Accuracy of `path` on `ds` after quantising the network to `bits`
+/// (weights restored afterwards).
+double evaluate_quantized(PathNetwork& network, const Genotype& path,
+                          const Dataset& ds, int bits, int batch_size);
+
+}  // namespace yoso

@@ -1,0 +1,71 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace yoso {
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  std::size_t n = 1;
+  for (int d : shape_) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, fill);
+}
+
+Tensor Tensor::zeros_like(const Tensor& other) {
+  return Tensor(other.shape_, 0.0f);
+}
+
+std::size_t Tensor::index(int n, int c, int h, int w) const {
+  return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+             shape_[3] +
+         w;
+}
+
+float& Tensor::at(int n, int c, int h, int w) {
+  return data_[index(n, c, h, w)];
+}
+
+float Tensor::at(int n, int c, int h, int w) const {
+  return data_[index(n, c, h, w)];
+}
+
+float& Tensor::at2(int n, int c) {
+  return data_[static_cast<std::size_t>(n) * shape_[1] + c];
+}
+
+float Tensor::at2(int n, int c) const {
+  return data_[static_cast<std::size_t>(n) * shape_[1] + c];
+}
+
+void Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+void Tensor::he_init(Rng& rng, int fan_in) {
+  const double std = std::sqrt(2.0 / std::max(fan_in, 1));
+  for (float& v : data_) v = static_cast<float>(rng.normal(0.0, std));
+}
+
+double Tensor::sum_squares() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream ss;
+  ss << "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) ss << ",";
+    ss << shape_[i];
+  }
+  ss << ")";
+  return ss.str();
+}
+
+}  // namespace yoso

@@ -1,0 +1,62 @@
+#pragma once
+// Minimal NCHW float tensor used by the from-scratch NN library.  The
+// library exists so the HyperNet mechanics of the paper (uniform path
+// sampling, shared-weight training, single-pass candidate evaluation by
+// weight inheritance) run for real at CPU scale.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace yoso {
+
+/// Dense float tensor, row-major, at most 4 dimensions (N, C, H, W).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW element access (rank must be 4).
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+
+  /// 2-D access for (N, C) tensors.
+  float& at2(int n, int c);
+  float at2(int n, int c) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// He-normal initialisation with the given fan-in.
+  void he_init(Rng& rng, int fan_in);
+
+  /// Sum of squares (for weight-decay accounting and tests).
+  double sum_squares() const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t index(int n, int c, int h, int w) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace yoso

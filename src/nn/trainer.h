@@ -1,0 +1,58 @@
+#pragma once
+// Training loops: standalone model training (fixed path) and HyperNet
+// training with per-step path sampling (uniform by default, pluggable for
+// the biased-sampling ablation).
+
+#include <functional>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+struct TrainOptions {
+  int epochs = 4;
+  int batch_size = 32;
+  double lr_max = 0.05;
+  double lr_min = 0.0001;
+  double momentum = 0.9;
+  double weight_decay = 4e-5;
+  bool augment = true;
+};
+
+/// Per-epoch log row.
+struct EpochLog {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_accuracy = 0.0;
+};
+
+/// Draws the path used for one HyperNet training step.
+using PathSampler = std::function<Genotype(Rng&)>;
+
+/// Uniform path sampling (Eq. 6) — the paper's HyperNet training strategy.
+Genotype uniform_path_sampler(Rng& rng);
+
+/// A deliberately biased sampler for the ablation: skews both input and op
+/// choices toward low indices, so some edges train far more than others.
+Genotype biased_path_sampler(Rng& rng);
+
+/// Trains the fixed `path` sub-model ("fully training" a candidate).
+/// Validation accuracy is measured on `val` after each epoch.
+std::vector<EpochLog> train_standalone(PathNetwork& net, const Genotype& path,
+                                       const Dataset& train,
+                                       const Dataset& val,
+                                       const TrainOptions& options, Rng& rng);
+
+/// Trains the HyperNet: a fresh path is sampled for every batch and only
+/// that path's parameters are updated.  The per-epoch validation accuracy
+/// is that of a randomly sampled sub-model (as in Fig 5(a)).
+std::vector<EpochLog> train_hypernet(PathNetwork& net, const Dataset& train,
+                                     const Dataset& val,
+                                     const TrainOptions& options, Rng& rng,
+                                     PathSampler sampler = uniform_path_sampler);
+
+}  // namespace yoso

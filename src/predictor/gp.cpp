@@ -1,0 +1,108 @@
+#include "predictor/gp.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace yoso {
+
+double GpRegressor::kernel(std::span<const double> a,
+                           std::span<const double> b) const {
+  const double d2 = squared_distance(a, b);
+  return hp_.signal_variance *
+         std::exp(-d2 / (2.0 * hp_.lengthscale * hp_.lengthscale));
+}
+
+double GpRegressor::fit_once(const Matrix& xs, std::span<const double> yc) {
+  const std::size_t n = xs.rows();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(xs.row(i), xs.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += hp_.noise_variance;
+  }
+  chol_ = std::make_unique<Cholesky>(k);
+  alpha_ = chol_->solve(yc);
+  // log p(y) = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) fit_term += yc[i] * alpha_[i];
+  return -0.5 * fit_term - 0.5 * chol_->log_determinant() -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0)
+    throw std::invalid_argument("GpRegressor::fit: bad shapes");
+  scaler_.fit(x);
+  train_x_ = scaler_.transform(x);
+
+  y_mean_ = mean(y);
+  std::vector<double> yc(y.size());
+  double y_var = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    yc[i] = y[i] - y_mean_;
+    y_var += yc[i] * yc[i];
+  }
+  y_var = std::max(y_var / static_cast<double>(y.size()), 1e-12);
+
+  if (!tune_) {
+    lml_ = fit_once(train_x_, yc);
+    return;
+  }
+
+  // Grid search: lengthscale scaled to feature dimension, noise relative to
+  // target variance.  Signal variance is tied to the target variance.
+  const double d = static_cast<double>(x.cols());
+  const double base_l = std::sqrt(d);
+  GpHyperParams best_hp;
+  double best_lml = -1e300;
+  for (double lf : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    for (double nf : {1e-4, 1e-3, 1e-2}) {
+      hp_.lengthscale = base_l * lf;
+      hp_.signal_variance = y_var;
+      hp_.noise_variance = y_var * nf;
+      const double lml = fit_once(train_x_, yc);
+      if (lml > best_lml) {
+        best_lml = lml;
+        best_hp = hp_;
+      }
+    }
+  }
+  hp_ = best_hp;
+  lml_ = fit_once(train_x_, yc);
+}
+
+double GpRegressor::predict(std::span<const double> x) const {
+  if (alpha_.empty()) throw std::logic_error("GpRegressor: not fitted");
+  // Mean-only prediction is O(n d) — no triangular solve.
+  const auto xs = scaler_.transform_row(x);
+  double mu = y_mean_;
+  for (std::size_t i = 0; i < train_x_.rows(); ++i)
+    mu += kernel(train_x_.row(i), xs) * alpha_[i];
+  return mu;
+}
+
+std::pair<double, double> GpRegressor::predict_with_variance(
+    std::span<const double> x) const {
+  if (alpha_.empty()) throw std::logic_error("GpRegressor: not fitted");
+  const auto xs = scaler_.transform_row(x);
+  const std::size_t n = train_x_.rows();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(train_x_.row(i), xs);
+  double mu = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) mu += kstar[i] * alpha_[i];
+  // var = k(x,x) - k*^T K^-1 k*
+  const std::vector<double> v = chol_->solve_lower(kstar);
+  double reduce = 0.0;
+  for (double vi : v) reduce += vi * vi;
+  const double var =
+      std::max(0.0, hp_.signal_variance + hp_.noise_variance - reduce);
+  return {mu, var};
+}
+
+}  // namespace yoso

@@ -1,0 +1,56 @@
+#pragma once
+// Exact Gaussian-process regression with an RBF kernel (paper Eq. 7-8):
+//   y = f(lambda) + eps,  f ~ GP(mu, K),  K(a,b) = s^2 exp(-|a-b|^2/(2 l^2))
+// Features are standardized and the target is centred; the lengthscale l,
+// signal variance s^2 and noise variance are either fixed or selected from
+// a small grid by maximizing the log marginal likelihood.
+
+#include <memory>
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "predictor/regressor.h"
+
+namespace yoso {
+
+struct GpHyperParams {
+  double lengthscale = 4.0;
+  double signal_variance = 1.0;
+  double noise_variance = 1e-3;
+};
+
+class GpRegressor : public Regressor {
+ public:
+  /// With `tune` true, a small grid search over lengthscale / noise maximises
+  /// the marginal likelihood during fit().
+  explicit GpRegressor(GpHyperParams hp = {}, bool tune = true)
+      : hp_(hp), tune_(tune) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "gaussian_process"; }
+
+  /// Predictive mean and variance for one input.
+  std::pair<double, double> predict_with_variance(
+      std::span<const double> x) const;
+
+  /// Log marginal likelihood of the fitted model on its training data.
+  double log_marginal_likelihood() const { return lml_; }
+
+  const GpHyperParams& hyper_params() const { return hp_; }
+
+ private:
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+  double fit_once(const Matrix& xs, std::span<const double> yc);
+
+  GpHyperParams hp_;
+  bool tune_;
+  Standardizer scaler_;
+  Matrix train_x_;               // standardized
+  std::vector<double> alpha_;    // K^-1 (y - mean)
+  std::unique_ptr<Cholesky> chol_;
+  double y_mean_ = 0.0;
+  double lml_ = 0.0;
+};
+
+}  // namespace yoso

@@ -1,0 +1,213 @@
+#include "predictor/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace yoso {
+
+// ------------------------------------------------------- LinearRegressor
+
+void LinearRegressor::fit(const Matrix& x, std::span<const double> y) {
+  scaler_.fit(x);
+  const Matrix xs = scaler_.transform(x);
+  // Append a bias column.
+  Matrix xb(xs.rows(), xs.cols() + 1);
+  for (std::size_t r = 0; r < xs.rows(); ++r) {
+    for (std::size_t c = 0; c < xs.cols(); ++c) xb(r, c) = xs(r, c);
+    xb(r, xs.cols()) = 1.0;
+  }
+  weights_ = ridge_solve(xb, y, lambda_);
+}
+
+double LinearRegressor::predict(std::span<const double> x) const {
+  if (weights_.empty()) throw std::logic_error("LinearRegressor: not fitted");
+  const auto xs = scaler_.transform_row(x);
+  double acc = weights_.back();
+  for (std::size_t c = 0; c < xs.size(); ++c) acc += weights_[c] * xs[c];
+  return acc;
+}
+
+// ---------------------------------------------------------- KnnRegressor
+
+void KnnRegressor::fit(const Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0)
+    throw std::invalid_argument("KnnRegressor::fit: bad shapes");
+  scaler_.fit(x);
+  train_x_ = scaler_.transform(x);
+  train_y_.assign(y.begin(), y.end());
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  if (train_y_.empty()) throw std::logic_error("KnnRegressor: not fitted");
+  const auto xs = scaler_.transform_row(x);
+  const int k = std::min<int>(k_, static_cast<int>(train_y_.size()));
+  // Partial sort of (distance, index).
+  std::vector<std::pair<double, std::size_t>> d;
+  d.reserve(train_x_.rows());
+  for (std::size_t r = 0; r < train_x_.rows(); ++r)
+    d.emplace_back(squared_distance(train_x_.row(r), xs), r);
+  std::partial_sort(d.begin(), d.begin() + k, d.end());
+  double wsum = 0.0, acc = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(d[static_cast<std::size_t>(i)].first) + 1e-6);
+    acc += w * train_y_[d[static_cast<std::size_t>(i)].second];
+    wsum += w;
+  }
+  return acc / wsum;
+}
+
+// ----------------------------------------------- DecisionTreeRegressor
+
+void DecisionTreeRegressor::fit(const Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0)
+    throw std::invalid_argument("DecisionTreeRegressor::fit: bad shapes");
+  nodes_.clear();
+  std::vector<std::size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(seed_);
+  build(x, y, idx, 0, idx.size(), 0, rng);
+}
+
+int DecisionTreeRegressor::build(const Matrix& x, std::span<const double> y,
+                                 std::vector<std::size_t>& idx,
+                                 std::size_t begin, std::size_t end,
+                                 int depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  double mean = 0.0;
+  for (std::size_t i = begin; i < end; ++i) mean += y[idx[i]];
+  mean /= static_cast<double>(n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_id)].value = mean;
+
+  if (depth >= max_depth_ ||
+      n < 2 * static_cast<std::size_t>(min_samples_leaf_))
+    return node_id;
+
+  // Candidate features (all, or a random subset for forest trees).
+  std::vector<int> features;
+  const int d = static_cast<int>(x.cols());
+  if (feature_subset_ > 0 && feature_subset_ < d) {
+    const auto perm = rng.permutation(static_cast<std::size_t>(d));
+    for (int i = 0; i < feature_subset_; ++i)
+      features.push_back(static_cast<int>(perm[static_cast<std::size_t>(i)]));
+  } else {
+    features.resize(static_cast<std::size_t>(d));
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::size_t>> vals(n);
+  for (int f : features) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = idx[begin + i];
+      vals[i] = {x(row, static_cast<std::size_t>(f)), row};
+    }
+    std::sort(vals.begin(), vals.end());
+    // Prefix sums for O(n) split evaluation.
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total_sum += y[vals[i].second];
+      total_sq += y[vals[i].second] * y[vals[i].second];
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double yv = y[vals[i].second];
+      left_sum += yv;
+      left_sq += yv * yv;
+      const std::size_t nl = i + 1, nr = n - nl;
+      if (nl < static_cast<std::size_t>(min_samples_leaf_) ||
+          nr < static_cast<std::size_t>(min_samples_leaf_))
+        continue;
+      if (vals[i].first == vals[i + 1].first) continue;  // no split point
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_left = left_sq - left_sum * left_sum / nl;
+      const double sse_right = right_sq - right_sum * right_sum / nr;
+      const double score = sse_left + sse_right;
+      if (score < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition idx[begin..end) by the chosen split.
+  const auto mid_it = std::stable_partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return x(row, static_cast<std::size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  const int left = build(x, y, idx, begin, mid, depth + 1, rng);
+  const int right = build(x, y, idx, mid, end, depth + 1, rng);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  if (nodes_.empty())
+    throw std::logic_error("DecisionTreeRegressor: not fitted");
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    cur = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+// ----------------------------------------------- RandomForestRegressor
+
+void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0)
+    throw std::invalid_argument("RandomForestRegressor::fit: bad shapes");
+  trees_.clear();
+  Rng rng(seed_);
+  const int subset =
+      std::max(1, static_cast<int>(x.cols()) * 2 / 3);
+  for (int t = 0; t < num_trees_; ++t) {
+    // Bootstrap sample.
+    Matrix bx(x.rows(), x.cols());
+    std::vector<double> by(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const std::size_t src = rng.uniform_index(x.rows());
+      for (std::size_t c = 0; c < x.cols(); ++c) bx(r, c) = x(src, c);
+      by[r] = y[src];
+    }
+    DecisionTreeRegressor tree(max_depth_, min_samples_leaf_, subset,
+                               rng.next_u64());
+    tree.fit(bx, by);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::predict(std::span<const double> x) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForestRegressor: not fitted");
+  double acc = 0.0;
+  for (const auto& t : trees_) acc += t.predict(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace yoso

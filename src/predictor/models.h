@@ -1,0 +1,103 @@
+#pragma once
+// The six regression families compared in Fig 4: linear least squares,
+// ridge, k-nearest-neighbours, decision tree (CART), random forest, and the
+// Gaussian process (in gp.h).  All operate on standardized features.
+
+#include <cstdint>
+#include <memory>
+
+#include "predictor/regressor.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+/// Ordinary least squares with a bias column (lambda == 0) or ridge.
+class LinearRegressor : public Regressor {
+ public:
+  /// lambda: L2 regularisation strength (0 = plain least squares).
+  explicit LinearRegressor(double lambda = 0.0, std::string name = "linear")
+      : lambda_(lambda), name_(std::move(name)) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  double lambda_;
+  std::string name_;
+  Standardizer scaler_;
+  std::vector<double> weights_;  // d + 1 (bias last)
+};
+
+/// Distance-weighted k-nearest-neighbour regression.
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(int k = 8) : k_(k) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "knn"; }
+
+ private:
+  int k_;
+  Standardizer scaler_;
+  Matrix train_x_;
+  std::vector<double> train_y_;
+};
+
+/// CART regression tree with variance-reduction splits.
+class DecisionTreeRegressor : public Regressor {
+ public:
+  DecisionTreeRegressor(int max_depth = 12, int min_samples_leaf = 4,
+                        int feature_subset = 0, std::uint64_t seed = 1)
+      : max_depth_(max_depth),
+        min_samples_leaf_(min_samples_leaf),
+        feature_subset_(feature_subset),
+        seed_(seed) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "decision_tree"; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1: leaf
+    double threshold = 0.0;
+    double value = 0.0;     // leaf prediction
+    int left = -1, right = -1;
+  };
+
+  int build(const Matrix& x, std::span<const double> y,
+            std::vector<std::size_t>& idx, std::size_t begin, std::size_t end,
+            int depth, Rng& rng);
+
+  int max_depth_;
+  int min_samples_leaf_;
+  int feature_subset_;  // 0 = all features
+  std::uint64_t seed_;
+  std::vector<Node> nodes_;
+};
+
+/// Bagged ensemble of randomized CART trees.
+class RandomForestRegressor : public Regressor {
+ public:
+  RandomForestRegressor(int num_trees = 40, int max_depth = 12,
+                        int min_samples_leaf = 3, std::uint64_t seed = 17)
+      : num_trees_(num_trees),
+        max_depth_(max_depth),
+        min_samples_leaf_(min_samples_leaf),
+        seed_(seed) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "random_forest"; }
+
+ private:
+  int num_trees_;
+  int max_depth_;
+  int min_samples_leaf_;
+  std::uint64_t seed_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace yoso

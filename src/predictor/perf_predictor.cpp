@@ -1,0 +1,113 @@
+#include "predictor/perf_predictor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "surrogate/accuracy_model.h"
+
+namespace yoso {
+
+std::vector<double> codesign_features(const Genotype& g,
+                                      const AcceleratorConfig& config,
+                                      const NetworkSkeleton& skeleton) {
+  const ArchFeatures af = ArchFeatures::compute(g, skeleton);
+  std::vector<double> f;
+  f.reserve(24);
+  // Architecture.
+  f.push_back(af.log10_macs);
+  f.push_back(af.log10_params);
+  f.push_back(af.conv_frac);
+  f.push_back(af.dw_frac);
+  f.push_back(af.pool_frac);
+  f.push_back(af.k5_frac);
+  f.push_back(af.depth_normal);
+  f.push_back(af.depth_reduction);
+  f.push_back(af.loose_normal);
+  f.push_back(af.loose_reduction);
+  // Hardware.
+  f.push_back(std::log2(static_cast<double>(config.pe_rows)));
+  f.push_back(std::log2(static_cast<double>(config.pe_cols)));
+  f.push_back(std::log2(static_cast<double>(config.num_pes())));
+  f.push_back(std::log2(static_cast<double>(config.g_buf_kb)));
+  f.push_back(std::log2(static_cast<double>(config.r_buf_bytes)));
+  for (int d = 0; d < kNumDataflows; ++d)
+    f.push_back(config.dataflow == static_cast<Dataflow>(d) ? 1.0 : 0.0);
+  // Interactions: compute intensity and weight-to-buffer pressure.
+  f.push_back(af.log10_macs -
+              std::log10(static_cast<double>(config.num_pes())));
+  f.push_back(af.log10_params -
+              std::log10(static_cast<double>(config.g_buf_kb) * 1024.0 / 2.0));
+  return f;
+}
+
+std::vector<PerfSample> collect_samples(std::size_t count,
+                                        const SystolicSimulator& simulator,
+                                        const ConfigSpace& space,
+                                        const NetworkSkeleton& skeleton,
+                                        Rng& rng) {
+  std::vector<PerfSample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PerfSample s;
+    s.genotype = random_genotype(rng);
+    std::vector<int> actions(ConfigSpace::kActionCount);
+    for (int a = 0; a < ConfigSpace::kActionCount; ++a)
+      actions[static_cast<std::size_t>(a)] =
+          rng.uniform_int(0, space.cardinality(a) - 1);
+    s.config = space.decode(actions);
+    const SimulationResult r =
+        simulator.simulate_network(s.genotype, skeleton, s.config);
+    s.energy_mj = r.energy_mj;
+    s.latency_ms = r.latency_ms;
+    s.features = codesign_features(s.genotype, s.config, skeleton);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+SampleMatrix to_matrix(const std::vector<PerfSample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("to_matrix: no samples");
+  SampleMatrix m;
+  m.x = Matrix(samples.size(), samples.front().features.size());
+  m.energy.reserve(samples.size());
+  m.latency.reserve(samples.size());
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const auto& f = samples[r].features;
+    if (f.size() != m.x.cols())
+      throw std::invalid_argument("to_matrix: ragged features");
+    for (std::size_t c = 0; c < f.size(); ++c) m.x(r, c) = f[c];
+    m.energy.push_back(samples[r].energy_mj);
+    m.latency.push_back(samples[r].latency_ms);
+  }
+  return m;
+}
+
+void PerformancePredictor::fit(const std::vector<PerfSample>& samples) {
+  const SampleMatrix m = to_matrix(samples);
+  // Both targets are positive with heavy upper tails (NLR configs are many
+  // times slower than OS); the GPs regress log(y) and predictions
+  // exponentiate back.
+  std::vector<double> log_e(m.energy.size()), log_l(m.latency.size());
+  for (std::size_t i = 0; i < m.energy.size(); ++i) {
+    log_e[i] = std::log(std::max(m.energy[i], 1e-9));
+    log_l[i] = std::log(std::max(m.latency[i], 1e-9));
+  }
+  energy_gp_.fit(m.x, log_e);
+  latency_gp_.fit(m.x, log_l);
+  fitted_ = true;
+}
+
+double PerformancePredictor::predict_energy_mj(
+    const Genotype& g, const AcceleratorConfig& config) const {
+  if (!fitted_) throw std::logic_error("PerformancePredictor: not fitted");
+  return std::exp(energy_gp_.predict(codesign_features(g, config, skeleton_)));
+}
+
+double PerformancePredictor::predict_latency_ms(
+    const Genotype& g, const AcceleratorConfig& config) const {
+  if (!fitted_) throw std::logic_error("PerformancePredictor: not fitted");
+  return std::exp(
+      latency_gp_.predict(codesign_features(g, config, skeleton_)));
+}
+
+}  // namespace yoso

@@ -1,0 +1,73 @@
+#pragma once
+// Search-time hardware performance prediction (paper §III.E): sample
+// (DNN, accelerator-config) pairs, simulate them once, fit one GP for energy
+// and one for latency, then answer queries ~10^3x faster than simulation.
+
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "predictor/gp.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+/// Feature vector for the regression models: architecture descriptors +
+/// hardware configuration descriptors + a couple of interaction terms.
+std::vector<double> codesign_features(const Genotype& g,
+                                      const AcceleratorConfig& config,
+                                      const NetworkSkeleton& skeleton);
+
+/// One simulated training sample.
+struct PerfSample {
+  Genotype genotype;
+  AcceleratorConfig config;
+  std::vector<double> features;
+  double energy_mj = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// Draws `count` uniform random (genotype, config) pairs and simulates them.
+std::vector<PerfSample> collect_samples(std::size_t count,
+                                        const SystolicSimulator& simulator,
+                                        const ConfigSpace& space,
+                                        const NetworkSkeleton& skeleton,
+                                        Rng& rng);
+
+/// Splits samples into feature matrix + target vectors.
+struct SampleMatrix {
+  Matrix x;
+  std::vector<double> energy;
+  std::vector<double> latency;
+};
+SampleMatrix to_matrix(const std::vector<PerfSample>& samples);
+
+/// The GP pair used inside the search loop.
+class PerformancePredictor {
+ public:
+  explicit PerformancePredictor(NetworkSkeleton skeleton)
+      : skeleton_(std::move(skeleton)) {}
+
+  /// Fits both GPs on simulated samples.
+  void fit(const std::vector<PerfSample>& samples);
+
+  double predict_energy_mj(const Genotype& g,
+                           const AcceleratorConfig& config) const;
+  double predict_latency_ms(const Genotype& g,
+                            const AcceleratorConfig& config) const;
+
+  bool fitted() const { return fitted_; }
+  const NetworkSkeleton& skeleton() const { return skeleton_; }
+  const GpRegressor& energy_model() const { return energy_gp_; }
+  const GpRegressor& latency_model() const { return latency_gp_; }
+
+ private:
+  NetworkSkeleton skeleton_;
+  GpRegressor energy_gp_;
+  GpRegressor latency_gp_;
+  bool fitted_ = false;
+};
+
+}  // namespace yoso

@@ -1,0 +1,54 @@
+#include "predictor/regressor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yoso {
+
+std::vector<double> Regressor::predict_all(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+void Standardizer::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("Standardizer: empty data");
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x(r, c);
+  for (double& m : mean_) m /= static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dl = x(r, c) - mean_[c];
+      std_[c] += dl * dl;
+    }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(x.rows()));
+    if (s < 1e-12) s = 1.0;  // constant feature
+  }
+}
+
+Matrix Standardizer::transform(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("Standardizer: not fitted");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out(r, c) = (x(r, c) - mean_[c]) / std_[c];
+  return out;
+}
+
+std::vector<double> Standardizer::transform_row(
+    std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("Standardizer: not fitted");
+  if (x.size() != mean_.size())
+    throw std::invalid_argument("Standardizer: dimension mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c)
+    out[c] = (x[c] - mean_[c]) / std_[c];
+  return out;
+}
+
+}  // namespace yoso

@@ -1,0 +1,45 @@
+#pragma once
+// Regression-model zoo for the hardware performance predictor (paper §III.E,
+// Fig 4): six model families are fitted to (design features -> energy or
+// latency) samples collected from the simulator; the Gaussian process wins
+// on MSE and becomes the search-time predictor.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace yoso {
+
+/// Common interface: fit on a sample matrix (rows = samples), then predict.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model.  x: (n, d), y: n targets.  Throws on shape mismatch.
+  virtual void fit(const Matrix& x, std::span<const double> y) = 0;
+
+  /// Predicts one sample (d features).
+  virtual double predict(std::span<const double> x) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Batch prediction convenience.
+  std::vector<double> predict_all(const Matrix& x) const;
+};
+
+/// Feature standardisation fitted on training data (mean 0 / std 1).
+class Standardizer {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> x) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace yoso

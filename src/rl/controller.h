@@ -1,0 +1,99 @@
+#pragma once
+// LSTM-based RL controller (paper §III.C).
+//
+// The controller treats a candidate co-design as an action sequence
+// lambda = (d_1..d_S, c_1..c_L): 40 DNN actions + 4 hardware actions, each
+// with its own cardinality.  An LSTM with 120 hidden units samples actions
+// autoregressively through per-step softmax heads; the previously generated
+// action is embedded and fed as the next input (zero input at the first
+// step).  Sampling logits use the ENAS-style temperature and tanh-constant
+// squashing (§IV.C: temperature 1.1, tanh constant 2.5).
+//
+// REINFORCE with a moving-average baseline and an entropy bonus updates the
+// parameters (Eq. 4); the optimiser is Adam (lr 0.0035 in the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/param_store.h"
+#include "util/rng.h"
+
+namespace yoso {
+
+struct ControllerOptions {
+  int hidden_size = 120;   ///< LSTM hidden units (paper: 120)
+  int embed_size = 32;     ///< action-embedding width
+  double temperature = 1.1;
+  double tanh_constant = 2.5;
+  std::uint64_t seed = 1;
+};
+
+/// One sampled action sequence with everything needed for the policy
+/// gradient.
+struct Episode {
+  std::vector<int> actions;
+  double log_prob = 0.0;  ///< sum over steps of log pi(a_t)
+  double entropy = 0.0;   ///< sum over steps of H(pi_t)
+
+  // Per-step caches for backprop (sized [T][...]).
+  std::vector<std::vector<double>> x, h, c;           // inputs and states
+  std::vector<std::vector<double>> gi, gf, gg, go;    // gate activations
+  std::vector<std::vector<double>> probs;             // softmax outputs
+  std::vector<std::vector<double>> head_u;            // pre-squash logits
+};
+
+class LstmController {
+ public:
+  /// `cardinalities`: the per-step action-space sizes (44 entries for the
+  /// full co-design space).
+  LstmController(std::vector<int> cardinalities, ControllerOptions options);
+
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+  int num_steps() const { return static_cast<int>(cardinalities_.size()); }
+  std::size_t param_count() const { return store_.size(); }
+
+  /// Samples one action sequence (with caches for a later gradient pass).
+  Episode sample(Rng& rng);
+
+  /// Greedy (argmax) decode — used to report the controller's current
+  /// preferred design.
+  std::vector<int> argmax_actions();
+
+  /// Accumulates the REINFORCE gradient of
+  ///   L = -(advantage) * log pi(a) - entropy_weight * H(pi)
+  /// for one episode into the parameter store.
+  void accumulate_gradient(const Episode& episode, double advantage,
+                           double entropy_weight);
+
+  /// Applies an Adam step (after one or more accumulate_gradient calls) and
+  /// zeroes gradients.  Gradients are clipped to `max_grad_norm`.
+  void update(double lr, double max_grad_norm = 5.0);
+
+  /// Checkpoint the controller (weights + optimiser state).  load() throws
+  /// std::invalid_argument when the checkpoint's action space or sizes do
+  /// not match this controller.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  /// Runs one LSTM step; fills episode caches at position t.
+  /// Returns the logits (pre-softmax, after squashing) for step t.
+  std::vector<double> step_forward(Episode& ep, int t, int prev_action);
+
+  std::vector<int> cardinalities_;
+  ControllerOptions options_;
+  ParamStore store_;
+
+  // LSTM weights.
+  ParamView w_x_;  // (4H, E)
+  ParamView w_h_;  // (4H, H)
+  ParamView b_;    // (4H)
+  ParamView start_;  // (E) input at t = 0
+  // Per-step action embeddings (card_{t-1} x E) for t >= 1.
+  std::vector<ParamView> embed_;
+  // Per-step output heads (card_t x H) + bias (card_t).
+  std::vector<ParamView> head_w_;
+  std::vector<ParamView> head_b_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,66 @@
+#pragma once
+// Flat parameter storage for the RL controller: values, gradients and Adam
+// moments live in parallel arrays; tensors are (offset, size) views.  This
+// keeps the LSTM/BPTT code free of allocation and makes the Adam update a
+// single pass.
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace yoso {
+
+/// A view handle into the store (one logical weight tensor).
+struct ParamView {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+class ParamStore {
+ public:
+  /// Reserves `n` doubles initialised uniformly in [-scale, scale].
+  ParamView alloc(std::size_t n, Rng& rng, double scale = 0.1);
+
+  std::span<double> value(ParamView v) {
+    return std::span<double>(value_).subspan(v.offset, v.size);
+  }
+  std::span<const double> value(ParamView v) const {
+    return std::span<const double>(value_).subspan(v.offset, v.size);
+  }
+  std::span<double> grad(ParamView v) {
+    return std::span<double>(grad_).subspan(v.offset, v.size);
+  }
+
+  std::size_t size() const { return value_.size(); }
+
+  void zero_grad();
+
+  /// Adam update over every parameter; increments the internal step count.
+  void adam_step(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                 double eps = 1e-8);
+
+  /// Global L2 norm of the gradient (for clipping / diagnostics).
+  double grad_norm() const;
+
+  /// Scales all gradients by `factor`.
+  void scale_grad(double factor);
+
+  /// Serialises values + Adam state (not gradients) as text; enables
+  /// checkpoint/resume of a search.  load() requires the store to have the
+  /// identical layout (same alloc sequence) and throws std::invalid_argument
+  /// on any mismatch or malformed input.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<double> value_;
+  std::vector<double> grad_;
+  std::vector<double> adam_m_;
+  std::vector<double> adam_v_;
+  long long adam_t_ = 0;
+};
+
+}  // namespace yoso

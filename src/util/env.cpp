@@ -1,0 +1,26 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace yoso {
+
+double experiment_scale() {
+  const char* raw = std::getenv("YOSO_SCALE");
+  if (raw == nullptr) return 1.0;
+  try {
+    const double v = std::stod(raw);
+    return std::clamp(v, 0.01, 1e6);
+  } catch (...) {
+    return 1.0;
+  }
+}
+
+std::size_t scaled(std::size_t n, std::size_t min_value) {
+  const double v = static_cast<double>(n) * experiment_scale();
+  const auto s = static_cast<std::size_t>(v);
+  return std::max(s, min_value);
+}
+
+}  // namespace yoso

@@ -1,0 +1,19 @@
+#pragma once
+// Experiment scaling knobs.
+//
+// The paper's searches run 10^4..5x10^6 iterations on a P100; the benches in
+// this repo default to CPU-friendly iteration counts and scale up linearly
+// with the YOSO_SCALE environment variable (e.g. YOSO_SCALE=10 multiplies all
+// iteration counts by 10).
+
+#include <cstddef>
+
+namespace yoso {
+
+/// Returns the value of YOSO_SCALE (default 1.0, clamped to [0.01, 1e6]).
+double experiment_scale();
+
+/// n scaled by experiment_scale(), never below min_value.
+std::size_t scaled(std::size_t n, std::size_t min_value = 1);
+
+}  // namespace yoso

@@ -1,0 +1,165 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+void check_same_size(std::span<const double> a, std::span<const double> b,
+                     const char* what) {
+  if (a.size() != b.size()) throw std::invalid_argument(what);
+  if (a.empty()) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty input");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double mse(std::span<const double> pred, std::span<const double> truth) {
+  check_same_size(pred, truth, "mse: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pred.size());
+}
+
+double rmse(std::span<const double> pred, std::span<const double> truth) {
+  return std::sqrt(mse(pred, truth));
+}
+
+double mean_relative_error(std::span<const double> pred,
+                           std::span<const double> truth) {
+  check_same_size(pred, truth, "mean_relative_error: size mismatch or empty");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    acc += std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  check_same_size(xs, ys, "pearson: size mismatch or empty");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> rank_with_ties(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // average rank for the tie group [i, j], ranks are 1-based
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  check_same_size(xs, ys, "spearman: size mismatch or empty");
+  const auto rx = rank_with_ties(xs);
+  const auto ry = rank_with_ties(ys);
+  return pearson(rx, ry);
+}
+
+double kendall_tau(std::span<const double> xs, std::span<const double> ys) {
+  check_same_size(xs, ys, "kendall_tau: size mismatch or empty");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      const double s = dx * dy;
+      if (s > 0) ++concordant;
+      else if (s < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const {
+  return std::sqrt(variance());
+}
+
+void MovingAverage::add(double x) {
+  if (!initialised_) {
+    value_ = x;
+    initialised_ = true;
+  } else {
+    value_ = decay_ * value_ + (1.0 - decay_) * x;
+  }
+}
+
+}  // namespace yoso

@@ -1,0 +1,75 @@
+#pragma once
+// Descriptive statistics and correlation measures used by the experiment
+// harnesses: MSE for the Fig-4 predictor comparison, Pearson/Spearman/Kendall
+// for the Fig-5(b) HyperNet-vs-true-accuracy correlation, and running
+// summaries for search-trace reporting.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace yoso {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  ///< population variance
+double stddev(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Mean squared error between prediction and truth.  Sizes must match.
+double mse(std::span<const double> pred, std::span<const double> truth);
+
+/// Root mean squared error.
+double rmse(std::span<const double> pred, std::span<const double> truth);
+
+/// Mean absolute relative error |pred-truth|/|truth| (truth==0 terms skipped).
+double mean_relative_error(std::span<const double> pred,
+                           std::span<const double> truth);
+
+/// Pearson linear correlation coefficient.  Returns 0 for degenerate input.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Kendall tau-a rank correlation.
+double kendall_tau(std::span<const double> xs, std::span<const double> ys);
+
+/// Ranks with ties broken by averaging (1-based ranks as doubles).
+std::vector<double> rank_with_ties(std::span<const double> xs);
+
+/// Incremental mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average, used for the REINFORCE reward baseline.
+class MovingAverage {
+ public:
+  /// decay in (0,1]; first sample initialises the average.
+  explicit MovingAverage(double decay) : decay_(decay) {}
+  void add(double x);
+  double value() const { return value_; }
+  bool empty() const { return !initialised_; }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+  bool initialised_ = false;
+};
+
+}  // namespace yoso

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing for the predictor-vs-simulator speedup experiment
+// (paper §III.E claims ~2000x) and for search-time reporting.
+
+#include <chrono>
+
+namespace yoso {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace yoso

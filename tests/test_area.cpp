@@ -1,0 +1,67 @@
+#include "accel/area.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+AcceleratorConfig config(int rows, int cols, int gbuf, int rbuf) {
+  return AcceleratorConfig{rows, cols, gbuf, rbuf,
+                           Dataflow::kOutputStationary};
+}
+
+TEST(Area, BreakdownSumsToTotal) {
+  const auto a = estimate_area(config(16, 32, 512, 256));
+  EXPECT_NEAR(a.total_mm2,
+              a.pe_mm2 + a.rbuf_mm2 + a.gbuf_mm2 + a.mux_mm2 + a.routing_mm2,
+              1e-12);
+  EXPECT_GT(a.total_mm2, 0.0);
+  EXPECT_DOUBLE_EQ(total_area_mm2(config(16, 32, 512, 256)), a.total_mm2);
+}
+
+TEST(Area, MonotoneInEveryAxis) {
+  const double base = total_area_mm2(config(8, 8, 108, 64));
+  EXPECT_GT(total_area_mm2(config(16, 8, 108, 64)), base);
+  EXPECT_GT(total_area_mm2(config(8, 16, 108, 64)), base);
+  EXPECT_GT(total_area_mm2(config(8, 8, 512, 64)), base);
+  EXPECT_GT(total_area_mm2(config(8, 8, 108, 512)), base);
+}
+
+TEST(Area, PlausibleMagnitudes) {
+  // A 16x32 array with 512 KB SRAM at 28 nm-class densities should land in
+  // single-digit mm^2 — the size class of published edge accelerators.
+  const double a = total_area_mm2(config(16, 32, 512, 512));
+  EXPECT_GT(a, 0.5);
+  EXPECT_LT(a, 10.0);
+  const double tiny = total_area_mm2(config(8, 8, 108, 64));
+  EXPECT_GT(tiny, 0.05);
+  EXPECT_LT(tiny, 2.0);
+}
+
+TEST(Area, PeArrayDominatesWhenBuffersSmall) {
+  const auto a = estimate_area(config(16, 32, 108, 64));
+  EXPECT_GT(a.pe_mm2, a.gbuf_mm2 * 0.5);
+}
+
+TEST(Area, SramDominatesAtMaxBuffer) {
+  const auto a = estimate_area(config(8, 8, 1024, 64));
+  EXPECT_GT(a.gbuf_mm2, a.pe_mm2);
+}
+
+TEST(Area, CustomParamsScale) {
+  AreaParams params;
+  params.pe_um2 *= 2.0;
+  const auto base = estimate_area(config(16, 16, 256, 256));
+  const auto scaled = estimate_area(config(16, 16, 256, 256), params);
+  EXPECT_NEAR(scaled.pe_mm2, 2.0 * base.pe_mm2, 1e-12);
+}
+
+TEST(Area, RoutingOverheadFraction) {
+  AreaParams params;
+  params.routing_overhead = 0.0;
+  const auto a = estimate_area(config(16, 16, 256, 256), params);
+  EXPECT_DOUBLE_EQ(a.routing_mm2, 0.0);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "accel/simulator.h"
+#include "arch/zoo.h"
+
+namespace yoso {
+namespace {
+
+AcceleratorConfig config() {
+  return AcceleratorConfig{16, 32, 512, 512, Dataflow::kOutputStationary};
+}
+
+TEST(BatchMode, BatchOneMatchesDefault) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto& g = reference_model("Darts_v1").genotype;
+  const auto a = sim.simulate_network(g, default_skeleton(), config());
+  const auto b = sim.simulate_network(g, default_skeleton(), config(), 1);
+  EXPECT_DOUBLE_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(b.batch, 1);
+}
+
+TEST(BatchMode, PerImageEnergyDecreasesWithBatch) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto& g = reference_model("Darts_v2").genotype;
+  double prev = 1e18;
+  for (int batch : {1, 2, 4, 8, 16}) {
+    const auto r = sim.simulate_network(g, default_skeleton(), config(),
+                                        batch);
+    EXPECT_LE(r.energy_mj, prev + 1e-12) << "batch " << batch;
+    prev = r.energy_mj;
+  }
+}
+
+TEST(BatchMode, SavingsSaturate) {
+  // Energy(batch=16) must be bounded below by the activation-only cost:
+  // going 16 -> 32 changes little.
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto& g = reference_model("EnasNet").genotype;
+  const auto b16 = sim.simulate_network(g, default_skeleton(), config(), 16);
+  const auto b32 = sim.simulate_network(g, default_skeleton(), config(), 32);
+  EXPECT_NEAR(b32.energy_mj, b16.energy_mj, b16.energy_mj * 0.05);
+}
+
+TEST(BatchMode, LatencyNeverBelowComputeBound) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto layers =
+      extract_layers(reference_model("NasNet-A").genotype, default_skeleton());
+  const auto r = sim.simulate(layers, config(), 64);
+  double compute_cycles = 0.0;
+  for (const auto& lr : r.layers)
+    compute_cycles += lr.mapping.compute_cycles;
+  EXPECT_GE(r.total_cycles, compute_cycles * 0.999);
+}
+
+TEST(BatchMode, ThroughputReported) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto r = sim.simulate_network(reference_model("Darts_v1").genotype,
+                                      default_skeleton(), config(), 4);
+  EXPECT_EQ(r.batch, 4);
+  EXPECT_NEAR(r.throughput_fps, 1000.0 / r.latency_ms, 1e-6);
+}
+
+TEST(BatchMode, InvalidBatchThrows) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto layers =
+      extract_layers(reference_model("Darts_v1").genotype, default_skeleton());
+  EXPECT_THROW(sim.simulate(layers, config(), 0), std::invalid_argument);
+}
+
+TEST(BatchMode, WeightShareWithinTotal) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto layers =
+      extract_layers(reference_model("Darts_v2").genotype, default_skeleton());
+  const auto r = sim.simulate(layers, config());
+  for (const auto& lr : r.layers) {
+    EXPECT_GE(lr.mapping.dram_weight_bytes, 0.0);
+    EXPECT_LE(lr.mapping.dram_weight_bytes, lr.mapping.dram_bytes + 1e-9);
+  }
+}
+
+TEST(BatchMode, WeightHeavyLayersBenefitMost) {
+  // A fully connected layer (weights dominate) must amortise strongly; a
+  // pool layer (no weights) must not change at all.
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  Layer fc;
+  fc.kind = LayerKind::kFullyConnected;
+  fc.in_h = 1;
+  fc.in_w = 1;
+  fc.in_c = 4096;
+  fc.out_c = 1000;
+  fc.kernel = 1;
+  fc.stride = 1;
+  const auto fc1 = sim.simulate({fc}, config(), 1);
+  const auto fc8 = sim.simulate({fc}, config(), 8);
+  EXPECT_LT(fc8.energy_mj, fc1.energy_mj * 0.35);
+
+  Layer pool;
+  pool.kind = LayerKind::kPool;
+  pool.in_h = 32;
+  pool.in_w = 32;
+  pool.in_c = 64;
+  pool.out_c = 64;
+  pool.kernel = 3;
+  pool.stride = 2;
+  const auto p1 = sim.simulate({pool}, config(), 1);
+  const auto p8 = sim.simulate({pool}, config(), 8);
+  EXPECT_NEAR(p8.energy_mj, p1.energy_mj, p1.energy_mj * 0.01);
+}
+
+}  // namespace
+}  // namespace yoso

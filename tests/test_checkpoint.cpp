@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rl/reinforce.h"
+
+namespace yoso {
+namespace {
+
+std::vector<int> cards() { return {3, 4, 5}; }
+
+TEST(ParamStoreCheckpoint, RoundTrip) {
+  ParamStore a;
+  Rng rng(1);
+  const ParamView v = a.alloc(20, rng, 0.5);
+  // Take an Adam step so moments are non-trivial.
+  for (auto& g : a.grad(v)) g = 0.3;
+  a.adam_step(0.01);
+
+  std::ostringstream os;
+  a.save(os);
+
+  ParamStore b;
+  Rng rng2(99);  // different init — must be overwritten by load
+  const ParamView vb = b.alloc(20, rng2, 0.5);
+  std::istringstream is(os.str());
+  b.load(is);
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(b.value(vb)[i], a.value(v)[i]);
+
+  // Subsequent identical updates evolve identically (Adam state restored).
+  for (auto& g : a.grad(v)) g = -0.2;
+  for (auto& g : b.grad(vb)) g = -0.2;
+  a.adam_step(0.01);
+  b.adam_step(0.01);
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(b.value(vb)[i], a.value(v)[i]);
+}
+
+TEST(ParamStoreCheckpoint, RejectsMismatch) {
+  ParamStore a;
+  Rng rng(1);
+  a.alloc(10, rng);
+  std::ostringstream os;
+  a.save(os);
+
+  ParamStore b;
+  b.alloc(11, rng);
+  std::istringstream is(os.str());
+  EXPECT_THROW(b.load(is), std::invalid_argument);
+
+  std::istringstream bad("not-a-checkpoint 3 0\n");
+  EXPECT_THROW(a.load(bad), std::invalid_argument);
+  std::istringstream truncated("yoso-paramstore-v1 10 0\n1 2 3\n");
+  EXPECT_THROW(a.load(truncated), std::invalid_argument);
+}
+
+TEST(ControllerCheckpoint, PolicySurvivesRoundTrip) {
+  LstmController trained(cards(), {});
+  // Teach it to prefer the last action at every step.
+  Rng rng(3);
+  for (int it = 0; it < 400; ++it) {
+    const Episode ep = trained.sample(rng);
+    double r = 0.0;
+    for (std::size_t t = 0; t < ep.actions.size(); ++t)
+      r += ep.actions[t] == cards()[t] - 1 ? 1.0 : 0.0;
+    trained.accumulate_gradient(ep, r / 3.0 - 0.5, 1e-4);
+    trained.update(0.02);
+  }
+  const auto argmax_before = trained.argmax_actions();
+
+  std::ostringstream os;
+  trained.save(os);
+
+  LstmController restored(cards(), {});
+  EXPECT_NE(restored.argmax_actions(), argmax_before);  // fresh weights
+  std::istringstream is(os.str());
+  restored.load(is);
+  EXPECT_EQ(restored.argmax_actions(), argmax_before);
+}
+
+TEST(ControllerCheckpoint, RejectsDifferentActionSpace) {
+  LstmController a(cards(), {});
+  std::ostringstream os;
+  a.save(os);
+  {
+    LstmController wrong({3, 4}, {});
+    std::istringstream is(os.str());
+    EXPECT_THROW(wrong.load(is), std::invalid_argument);
+  }
+  {
+    LstmController wrong({3, 4, 6}, {});
+    std::istringstream is(os.str());
+    EXPECT_THROW(wrong.load(is), std::invalid_argument);
+  }
+  {
+    ControllerOptions opt;
+    opt.hidden_size = 64;
+    LstmController wrong(cards(), opt);
+    std::istringstream is(os.str());
+    EXPECT_THROW(wrong.load(is), std::invalid_argument);
+  }
+}
+
+TEST(ControllerCheckpoint, ResumedTrainingContinuesImproving) {
+  LstmController first(cards(), {});
+  ReinforceTrainer t1(first, {});
+  Rng rng(5);
+  auto reward_of = [](const Episode& ep) {
+    double r = 0.0;
+    for (int a : ep.actions) r += a == 0 ? 1.0 : 0.0;
+    return r / 3.0;
+  };
+  for (int it = 0; it < 300; ++it) {
+    const Episode ep = t1.propose(rng);
+    t1.feedback(ep, reward_of(ep));
+  }
+  std::ostringstream os;
+  first.save(os);
+
+  LstmController second(cards(), {});
+  std::istringstream is(os.str());
+  second.load(is);
+  ReinforceTrainer t2(second, {});
+  for (int it = 0; it < 300; ++it) {
+    const Episode ep = t2.propose(rng);
+    t2.feedback(ep, reward_of(ep));
+  }
+  // After resuming, the policy should strongly prefer action 0 everywhere.
+  const auto best = second.argmax_actions();
+  int zeros = 0;
+  for (int a : best) zeros += a == 0 ? 1 : 0;
+  EXPECT_EQ(zeros, 3);
+}
+
+}  // namespace
+}  // namespace yoso

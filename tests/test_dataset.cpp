@@ -1,0 +1,145 @@
+#include "nn/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace yoso {
+namespace {
+
+TEST(SynthCifar, GeneratesBalancedLabelledSet) {
+  SynthCifar task(12, 10, 7);
+  const Dataset ds = task.generate(5, 1);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.images.shape(), (std::vector<int>{50, 3, 12, 12}));
+  std::map<int, int> counts;
+  for (int l : ds.labels) ++counts[l];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [label, count] : counts) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+    EXPECT_EQ(count, 5);
+  }
+}
+
+TEST(SynthCifar, PixelsInRange) {
+  SynthCifar task(8, 4, 3);
+  const Dataset ds = task.generate(10, 2);
+  for (float v : ds.images.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SynthCifar, DeterministicForSameSeeds) {
+  SynthCifar a(10, 6, 11), b(10, 6, 11);
+  const Dataset da = a.generate(4, 5);
+  const Dataset db = b.generate(4, 5);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.images.numel(); ++i)
+    EXPECT_FLOAT_EQ(da.images[i], db.images[i]);
+  EXPECT_EQ(da.labels, db.labels);
+}
+
+TEST(SynthCifar, DifferentDrawSeedsDiffer) {
+  SynthCifar task(10, 6, 11);
+  const Dataset d1 = task.generate(4, 1);
+  const Dataset d2 = task.generate(4, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < d1.images.numel(); ++i)
+    any_diff |= d1.images[i] != d2.images[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthCifar, ClassesAreSeparable) {
+  // Mean within-class distance should be smaller than between-class
+  // distance — otherwise no model could learn the task.
+  SynthCifar task(12, 4, 17);
+  const Dataset ds = task.generate(20, 3);
+  const int hw = 12 * 12 * 3;
+  auto dist = [&](int i, int j) {
+    double acc = 0.0;
+    for (int k = 0; k < hw; ++k) {
+      const double d = ds.images[static_cast<std::size_t>(i * hw + k)] -
+                       ds.images[static_cast<std::size_t>(j * hw + k)];
+      acc += d * d;
+    }
+    return acc;
+  };
+  double within = 0.0, between = 0.0;
+  int nw = 0, nb = 0;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = i + 1; j < 40; ++j) {
+      if (ds.labels[static_cast<std::size_t>(i)] ==
+          ds.labels[static_cast<std::size_t>(j)]) {
+        within += dist(i, j);
+        ++nw;
+      } else {
+        between += dist(i, j);
+        ++nb;
+      }
+    }
+  }
+  EXPECT_LT(within / nw, between / nb);
+}
+
+TEST(SynthCifar, InvalidConstructionThrows) {
+  EXPECT_THROW(SynthCifar(2, 10, 1), std::invalid_argument);
+  EXPECT_THROW(SynthCifar(12, 1, 1), std::invalid_argument);
+  SynthCifar ok(12, 10, 1);
+  EXPECT_THROW(ok.generate(0, 1), std::invalid_argument);
+}
+
+TEST(GatherBatch, CollectsRowsAndLabels) {
+  SynthCifar task(8, 4, 19);
+  const Dataset ds = task.generate(4, 1);
+  std::vector<std::size_t> idx = {0, 5, 9};
+  std::vector<int> labels;
+  const Tensor batch = gather_batch(ds, idx, &labels);
+  EXPECT_EQ(batch.dim(0), 3);
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[1], ds.labels[5]);
+  for (int c = 0; c < 3; ++c)
+    EXPECT_FLOAT_EQ(batch.at(1, c, 2, 3), ds.images.at(5, c, 2, 3));
+}
+
+TEST(GatherBatch, Errors) {
+  SynthCifar task(8, 4, 19);
+  const Dataset ds = task.generate(2, 1);
+  std::vector<std::size_t> empty;
+  EXPECT_THROW(gather_batch(ds, empty, nullptr), std::invalid_argument);
+  std::vector<std::size_t> oob = {999};
+  EXPECT_THROW(gather_batch(ds, oob, nullptr), std::out_of_range);
+}
+
+TEST(AugmentBatch, PreservesShapeAndRange) {
+  SynthCifar task(8, 4, 23);
+  const Dataset ds = task.generate(4, 1);
+  std::vector<std::size_t> idx = {0, 1, 2, 3};
+  Tensor batch = gather_batch(ds, idx, nullptr);
+  const auto shape = batch.shape();
+  Rng rng(5);
+  augment_batch(batch, rng);
+  EXPECT_EQ(batch.shape(), shape);
+  for (float v : batch.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(AugmentBatch, ActuallyPerturbsSomeImages) {
+  SynthCifar task(8, 4, 29);
+  const Dataset ds = task.generate(8, 1);
+  std::vector<std::size_t> idx = {0, 1, 2, 3, 4, 5, 6, 7};
+  Tensor original = gather_batch(ds, idx, nullptr);
+  Tensor batch = original;
+  Rng rng(6);
+  augment_batch(batch, rng);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < batch.numel(); ++i)
+    any_diff |= batch[i] != original[i];
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,86 @@
+#include "core/design_space.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+TEST(DesignSpace, FortyFourActions) {
+  DesignSpace space;
+  EXPECT_EQ(space.num_actions(), 44);  // S=40 DNN + L=4 hardware
+  EXPECT_EQ(space.cardinalities().size(), 44u);
+  EXPECT_EQ(space.action_names().size(), 44u);
+}
+
+TEST(DesignSpace, HardwareActionsAppendedLast) {
+  DesignSpace space;
+  const auto cards = space.cardinalities();
+  const auto names = space.action_names();
+  EXPECT_EQ(names[40], "hw.pe_shape");
+  EXPECT_EQ(names[43], "hw.dataflow");
+  EXPECT_EQ(cards[43], kNumDataflows);
+  EXPECT_EQ(cards[40],
+            static_cast<int>(space.config_space().pe_shapes.size()));
+}
+
+TEST(DesignSpace, EncodeDecodeRoundTrip) {
+  DesignSpace space;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const CandidateDesign c = space.random_candidate(rng);
+    const auto actions = space.encode(c);
+    ASSERT_EQ(actions.size(), 44u);
+    EXPECT_EQ(space.decode(actions), c);
+  }
+}
+
+TEST(DesignSpace, RandomCandidatesValidAndInRange) {
+  DesignSpace space;
+  const auto cards = space.cardinalities();
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const CandidateDesign c = space.random_candidate(rng);
+    EXPECT_TRUE(validate_genotype(c.genotype));
+    const auto actions = space.encode(c);
+    for (std::size_t t = 0; t < actions.size(); ++t) {
+      EXPECT_GE(actions[t], 0);
+      EXPECT_LT(actions[t], cards[t]);
+    }
+  }
+}
+
+TEST(DesignSpace, DecodeRejectsWrongLength) {
+  DesignSpace space;
+  EXPECT_THROW(space.decode(std::vector<int>(43, 0)), std::invalid_argument);
+  EXPECT_THROW(space.decode(std::vector<int>(45, 0)), std::invalid_argument);
+}
+
+TEST(DesignSpace, DecodeRejectsOutOfRangeHardwareAction) {
+  DesignSpace space;
+  std::vector<int> actions(44, 0);
+  actions[43] = kNumDataflows;  // one past the last dataflow
+  EXPECT_THROW(space.decode(actions), std::invalid_argument);
+}
+
+TEST(DesignSpace, JointSpaceIsHuge) {
+  DesignSpace space;
+  // The paper speaks of ~10^15 relevant solutions inside an even larger raw
+  // space; our exact count must be at least that.
+  EXPECT_GT(space.log10_size(), 15.0);
+}
+
+TEST(DesignSpace, CustomConfigSpaceRespected) {
+  ConfigSpace cs;
+  cs.pe_shapes = {{8, 8}};
+  cs.g_buf_kb_options = {256};
+  cs.r_buf_byte_options = {128};
+  DesignSpace space(cs);
+  EXPECT_EQ(space.cardinalities()[40], 1);
+  Rng rng(3);
+  const CandidateDesign c = space.random_candidate(rng);
+  EXPECT_EQ(c.config.pe_rows, 8);
+  EXPECT_EQ(c.config.g_buf_kb, 256);
+}
+
+}  // namespace
+}  // namespace yoso

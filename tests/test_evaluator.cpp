@@ -1,0 +1,117 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    space_ = new DesignSpace();
+    skeleton_ = new NetworkSkeleton(default_skeleton());
+    simulator_ = new SystolicSimulator({}, SimFidelity::kAnalytical);
+    fast_ = new FastEvaluator(*space_, *skeleton_, *simulator_,
+                              {.predictor_samples = 200, .seed = 3});
+    accurate_ = new AccurateEvaluator(*skeleton_);
+  }
+  static void TearDownTestSuite() {
+    delete accurate_;
+    delete fast_;
+    delete simulator_;
+    delete skeleton_;
+    delete space_;
+  }
+
+  static DesignSpace* space_;
+  static NetworkSkeleton* skeleton_;
+  static SystolicSimulator* simulator_;
+  static FastEvaluator* fast_;
+  static AccurateEvaluator* accurate_;
+};
+
+DesignSpace* EvaluatorTest::space_ = nullptr;
+NetworkSkeleton* EvaluatorTest::skeleton_ = nullptr;
+SystolicSimulator* EvaluatorTest::simulator_ = nullptr;
+FastEvaluator* EvaluatorTest::fast_ = nullptr;
+AccurateEvaluator* EvaluatorTest::accurate_ = nullptr;
+
+TEST_F(EvaluatorTest, FastEvaluatorSaneRanges) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const CandidateDesign c = space_->random_candidate(rng);
+    const EvalResult r = fast_->evaluate(c);
+    EXPECT_GT(r.accuracy, 0.5);
+    EXPECT_LT(r.accuracy, 1.0);
+    EXPECT_GT(r.latency_ms, 0.0);
+    EXPECT_GT(r.energy_mj, 0.0);
+    EXPECT_LT(r.energy_mj, 100.0);
+  }
+}
+
+TEST_F(EvaluatorTest, FastTracksAccurateOrdering) {
+  // The fast evaluator must broadly agree with the accurate one on which of
+  // two very different designs is cheaper.
+  Rng rng(2);
+  CandidateDesign small = space_->random_candidate(rng);
+  small.config = AcceleratorConfig{16, 32, 512, 512,
+                                   Dataflow::kOutputStationary};
+  CandidateDesign big = small;
+  big.config = AcceleratorConfig{8, 8, 108, 64, Dataflow::kNoLocalReuse};
+  const EvalResult fs = fast_->evaluate(small);
+  const EvalResult fb = fast_->evaluate(big);
+  const EvalResult as = accurate_->evaluate(small);
+  const EvalResult ab = accurate_->evaluate(big);
+  EXPECT_EQ(fs.latency_ms < fb.latency_ms, as.latency_ms < ab.latency_ms);
+}
+
+TEST_F(EvaluatorTest, AccurateMatchesSimulatorDirectly) {
+  Rng rng(3);
+  const CandidateDesign c = space_->random_candidate(rng);
+  const EvalResult r = accurate_->evaluate(c);
+  const SimulationResult sim =
+      accurate_->simulator().simulate_network(c.genotype, *skeleton_,
+                                              c.config);
+  EXPECT_DOUBLE_EQ(r.latency_ms, sim.latency_ms);
+  EXPECT_DOUBLE_EQ(r.energy_mj, sim.energy_mj);
+}
+
+TEST_F(EvaluatorTest, AccurateAccuracyIsFullTraining) {
+  Rng rng(4);
+  const CandidateDesign c = space_->random_candidate(rng);
+  const EvalResult r = accurate_->evaluate(c);
+  AccuracyModel model(*skeleton_);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0 - model.test_error(c.genotype) / 100.0);
+}
+
+TEST_F(EvaluatorTest, FastAccuracyIsHypernetProxy) {
+  Rng rng(5);
+  const CandidateDesign c = space_->random_candidate(rng);
+  const EvalResult r = fast_->evaluate(c);
+  EXPECT_DOUBLE_EQ(r.accuracy,
+                   fast_->accuracy_model().hypernet_accuracy(c.genotype));
+}
+
+TEST_F(EvaluatorTest, ConstructionFromPrecollectedSamples) {
+  Rng rng(6);
+  const auto samples = collect_samples(120, *simulator_,
+                                       space_->config_space(), *skeleton_,
+                                       rng);
+  FastEvaluator fast2(*skeleton_, samples);
+  const CandidateDesign c = space_->random_candidate(rng);
+  const EvalResult r = fast2.evaluate(c);
+  EXPECT_GT(r.energy_mj, 0.0);
+}
+
+TEST_F(EvaluatorTest, EvaluationIsDeterministic) {
+  Rng rng(7);
+  const CandidateDesign c = space_->random_candidate(rng);
+  const EvalResult r1 = fast_->evaluate(c);
+  const EvalResult r2 = fast_->evaluate(c);
+  EXPECT_DOUBLE_EQ(r1.accuracy, r2.accuracy);
+  EXPECT_DOUBLE_EQ(r1.energy_mj, r2.energy_mj);
+  EXPECT_DOUBLE_EQ(r1.latency_ms, r2.latency_ms);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,139 @@
+#include "nn/im2col.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+TEST(Im2col, ShapesAndPaddingZeros) {
+  Rng rng(1);
+  const Tensor x = random_tensor({2, 3, 5, 5}, rng);
+  const ColMatrix m = im2col(x, 3, 1);
+  EXPECT_EQ(m.rows, 2 * 5 * 5);
+  EXPECT_EQ(m.cols, 3 * 9);
+  // Top-left output pixel of image 0: the (kh=0, kw=0) tap is out of image
+  // and must be zero; the centre tap equals x(0, ci, 0, 0).
+  for (int ci = 0; ci < 3; ++ci) {
+    EXPECT_FLOAT_EQ(m.data[static_cast<std::size_t>(ci * 9 + 0)], 0.0f);
+    EXPECT_FLOAT_EQ(m.data[static_cast<std::size_t>(ci * 9 + 4)],
+                    x.at(0, ci, 0, 0));
+  }
+}
+
+TEST(Im2col, StrideTwoRowCount) {
+  Rng rng(2);
+  const Tensor x = random_tensor({1, 2, 7, 7}, rng);
+  const ColMatrix m = im2col(x, 3, 2);
+  EXPECT_EQ(m.rows, 4 * 4);  // ceil(7/2) = 4
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property of an adjoint pair, which is exactly what backward needs.
+  Rng rng(3);
+  const Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  const ColMatrix cx = im2col(x, 3, 1);
+  ColMatrix y;
+  y.rows = cx.rows;
+  y.cols = cx.cols;
+  y.data.resize(cx.data.size());
+  for (float& v : y.data) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cx.data.size(); ++i)
+    lhs += static_cast<double>(cx.data[i]) * y.data[i];
+  const Tensor xt = col2im(y, x.shape(), 3, 1);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2col, Col2imRejectsMismatchedShapes) {
+  ColMatrix y;
+  y.rows = 4;
+  y.cols = 9;
+  y.data.resize(36);
+  EXPECT_THROW(col2im(y, {1, 1, 5, 5}, 3, 1), std::invalid_argument);
+}
+
+TEST(Matmul, AbtKnownValues) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]]: A*B^T = [[17,23],[39,53]].
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4];
+  matmul_abt(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 17.0f);
+  EXPECT_FLOAT_EQ(c[1], 23.0f);
+  EXPECT_FLOAT_EQ(c[2], 39.0f);
+  EXPECT_FLOAT_EQ(c[3], 53.0f);
+}
+
+TEST(Matmul, AbKnownValues) {
+  // A (2x2) * B (2x2): [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]].
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4];
+  matmul_ab(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Matmul, AtbAccumulates) {
+  // A^T*B with A (2x1) = [1;2], B (2x2) = [[1,0],[0,1]]: A^T B = [1, 2].
+  const float a[] = {1, 2};
+  const float b[] = {1, 0, 0, 1};
+  float c[2] = {10.0f, 20.0f};  // must accumulate on top
+  matmul_atb_acc(a, b, c, 2, 1, 2);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+}
+
+TEST(Im2col, LoweredConvMatchesNaiveReference) {
+  // Cross-check the whole lowered pipeline against a fresh naive conv.
+  Rng rng(4);
+  const int cin = 3, cout = 4, k = 3, hw = 6;
+  const Tensor x = random_tensor({2, cin, hw, hw}, rng);
+  const Tensor w = random_tensor({cout, cin, k, k}, rng);
+
+  // Naive reference.
+  Tensor ref({2, cout, hw, hw});
+  for (int b = 0; b < 2; ++b)
+    for (int co = 0; co < cout; ++co)
+      for (int yy = 0; yy < hw; ++yy)
+        for (int xx = 0; xx < hw; ++xx) {
+          float acc = 0.0f;
+          for (int ci = 0; ci < cin; ++ci)
+            for (int kh = 0; kh < k; ++kh)
+              for (int kw = 0; kw < k; ++kw) {
+                const int ih = yy + kh - 1, iw = xx + kw - 1;
+                if (ih < 0 || ih >= hw || iw < 0 || iw >= hw) continue;
+                acc += x.at(b, ci, ih, iw) * w.at(co, ci, kh, kw);
+              }
+          ref.at(b, co, yy, xx) = acc;
+        }
+
+  // Lowered.
+  const ColMatrix cols = im2col(x, k, 1);
+  std::vector<float> out(static_cast<std::size_t>(cols.rows) * cout);
+  matmul_abt(cols.data.data(), w.data().data(), out.data(), cols.rows, cout,
+             cols.cols);
+  for (int b = 0; b < 2; ++b)
+    for (int yy = 0; yy < hw; ++yy)
+      for (int xx = 0; xx < hw; ++xx)
+        for (int co = 0; co < cout; ++co)
+          EXPECT_NEAR(out[(static_cast<std::size_t>(b) * hw * hw + yy * hw +
+                           xx) * cout + co],
+                      ref.at(b, co, yy, xx), 1e-4f);
+}
+
+}  // namespace
+}  // namespace yoso

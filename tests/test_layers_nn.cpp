@@ -1,0 +1,359 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace yoso {
+namespace {
+
+// ------------------------------------------------------------------------
+// Numerical gradient-check machinery: for a module m and a random linear
+// readout v, define loss(x, w) = sum(v .* m.forward(x)).  Analytic grads
+// come from m.backward(v); numeric grads from central differences.
+// ------------------------------------------------------------------------
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng, double scale = 1.0) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+double readout(const Tensor& y, const Tensor& v) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    acc += static_cast<double>(y[i]) * v[i];
+  return acc;
+}
+
+/// Returns max absolute error between analytic and numeric input gradients,
+/// and (via out-params) parameter-gradient max error.
+void gradient_check(Module& m, Tensor x, Rng& rng, double tol) {
+  Tensor y = m.forward(x);
+  const Tensor v = random_tensor(y.shape(), rng);
+  const Tensor gx = m.backward(v);
+  ASSERT_EQ(gx.shape(), x.shape());
+
+  const float eps = 1e-3f;
+
+  // Input gradients.
+  for (std::size_t i = 0; i < x.numel(); i += std::max<std::size_t>(1, x.numel() / 17)) {
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor xm = x;
+    xm[i] -= eps;
+    m.clear_cache();
+    const double lp = readout(m.forward(xp), v);
+    m.clear_cache();
+    const double lm = readout(m.forward(xm), v);
+    m.clear_cache();
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx[i], numeric, tol) << "input grad at " << i;
+  }
+
+  // Parameter gradients.
+  std::vector<Param*> params;
+  m.collect_params(params);
+  for (Param* p : params) {
+    ASSERT_EQ(p->grad.numel(), p->value.numel());
+    EXPECT_TRUE(p->dirty);
+    for (std::size_t i = 0; i < p->value.numel();
+         i += std::max<std::size_t>(1, p->value.numel() / 13)) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      m.clear_cache();
+      const double lp = readout(m.forward(x), v);
+      p->value[i] = orig - eps;
+      m.clear_cache();
+      const double lm = readout(m.forward(x), v);
+      p->value[i] = orig;
+      m.clear_cache();
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol) << "param grad at " << i;
+    }
+  }
+}
+
+TEST(Conv2d, ForwardKnownValues) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, rng);
+  // Identity-ish kernel: centre 1, rest 0.
+  conv.weight().value.fill(0.0f);
+  conv.weight().value.at(0, 0, 1, 1) = 1.0f;
+  Tensor x({1, 1, 3, 3});
+  for (int i = 0; i < 9; ++i) x[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int i = 0; i < 9; ++i)
+    EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(i)], static_cast<float>(i));
+}
+
+TEST(Conv2d, SamePaddingEdges) {
+  Rng rng(2);
+  Conv2d conv(1, 1, 3, 1, rng);
+  conv.weight().value.fill(1.0f);  // box filter
+  Tensor x({1, 1, 2, 2}, 1.0f);
+  const Tensor y = conv.forward(x);
+  // Corner sees a 2x2 window of ones.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Conv2d, StrideTwoOutputShape) {
+  Rng rng(3);
+  Conv2d conv(2, 4, 3, 2, rng);
+  Tensor x({2, 2, 7, 7});
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.dim(2), 4);  // ceil(7/2)
+}
+
+TEST(Conv2d, WrongChannelsThrows) {
+  Rng rng(4);
+  Conv2d conv(3, 4, 3, 1, rng);
+  Tensor x({1, 2, 4, 4});
+  EXPECT_THROW(conv.forward(x), std::invalid_argument);
+}
+
+TEST(Conv2d, BackwardWithoutForwardThrows) {
+  Rng rng(5);
+  Conv2d conv(1, 1, 3, 1, rng);
+  Tensor g({1, 1, 2, 2});
+  EXPECT_THROW(conv.backward(g), std::logic_error);
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(6);
+  Conv2d conv(2, 3, 3, 1, rng);
+  gradient_check(conv, random_tensor({2, 2, 4, 4}, rng), rng, 2e-2);
+}
+
+TEST(Conv2d, GradientCheckStride2Kernel5) {
+  Rng rng(7);
+  Conv2d conv(2, 2, 5, 2, rng);
+  gradient_check(conv, random_tensor({1, 2, 6, 6}, rng), rng, 2e-2);
+}
+
+TEST(DwConv2d, ChannelsStayIndependent) {
+  Rng rng(8);
+  DwConv2d dw(2, 3, 1, rng);
+  dw.weight().value.fill(0.0f);
+  dw.weight().value.at(0, 0, 1, 1) = 2.0f;  // channel 0: x2
+  dw.weight().value.at(1, 0, 1, 1) = 3.0f;  // channel 1: x3
+  Tensor x({1, 2, 2, 2}, 1.0f);
+  const Tensor y = dw.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 3.0f);
+}
+
+TEST(DwConv2d, GradientCheck) {
+  Rng rng(9);
+  DwConv2d dw(3, 3, 1, rng);
+  gradient_check(dw, random_tensor({2, 3, 4, 4}, rng), rng, 2e-2);
+}
+
+TEST(DwConv2d, GradientCheckStride2) {
+  Rng rng(10);
+  DwConv2d dw(2, 5, 2, rng);
+  gradient_check(dw, random_tensor({1, 2, 5, 5}, rng), rng, 2e-2);
+}
+
+TEST(Pool2d, MaxPoolSelectsMaximum) {
+  Pool2d pool(3, 1, true);
+  Tensor x({1, 1, 3, 3});
+  x.at(0, 0, 1, 1) = 5.0f;
+  x.at(0, 0, 0, 0) = 2.0f;
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);  // window includes the centre
+}
+
+TEST(Pool2d, MaxPoolBackwardRoutesToArgmax) {
+  // With k=3, stride 3, pad 1, the single output window covers input rows
+  // and cols -1..1, i.e. the top-left 2x2 region of a 3x3 input.
+  Pool2d pool(3, 3, true);
+  Tensor x({1, 1, 3, 3});
+  x.at(0, 0, 1, 1) = 9.0f;
+  x.at(0, 0, 2, 2) = 99.0f;  // outside the window; must be ignored
+  Tensor y = pool.forward(x);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);
+  Tensor g({1, 1, 1, 1}, 1.0f);
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 2, 2), 0.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Pool2d, AvgPoolValues) {
+  Pool2d pool(3, 3, false);
+  Tensor x({1, 1, 3, 3}, 2.0f);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+}
+
+TEST(Pool2d, AvgPoolGradientCheck) {
+  Rng rng(11);
+  Pool2d pool(3, 2, false);
+  gradient_check(pool, random_tensor({1, 2, 5, 5}, rng), rng, 2e-2);
+}
+
+TEST(Pool2d, MaxPoolGradientCheck) {
+  Rng rng(12);
+  Pool2d pool(3, 2, true);
+  // Spread values so the argmax is stable under +-eps.
+  Tensor x({1, 2, 5, 5});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(i % 13) + 0.1f * static_cast<float>(i % 7);
+  gradient_check(pool, x, rng, 2e-2);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  Tensor x({1, 4});
+  x[0] = -1.0f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  x[3] = -0.5f;
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(Relu, BackwardMasks) {
+  Relu relu;
+  Tensor x({1, 2});
+  x[0] = -1.0f;
+  x[1] = 3.0f;
+  relu.forward(x);
+  Tensor g({1, 2}, 1.0f);
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+}
+
+TEST(GlobalAvgPool, ForwardAndGradientCheck) {
+  Rng rng(13);
+  GlobalAvgPool gap;
+  Tensor x({2, 3, 4, 4}, 1.0f);
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.0f);
+  gap.clear_cache();
+  gradient_check(gap, random_tensor({2, 3, 3, 3}, rng), rng, 1e-2);
+}
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(14);
+  Linear lin(2, 2, rng);
+  std::vector<Param*> params;
+  lin.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  // weight = [[1,2],[3,4]], bias = [0.5, -0.5]
+  params[0]->value[0] = 1.0f;
+  params[0]->value[1] = 2.0f;
+  params[0]->value[2] = 3.0f;
+  params[0]->value[3] = 4.0f;
+  params[1]->value[0] = 0.5f;
+  params[1]->value[1] = -0.5f;
+  Tensor x({1, 2});
+  x[0] = 1.0f;
+  x[1] = 1.0f;
+  const Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 6.5f);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(15);
+  Linear lin(4, 3, rng);
+  gradient_check(lin, random_tensor({3, 4}, rng), rng, 1e-2);
+}
+
+TEST(Sequential, ComposesAndBackprops) {
+  Rng rng(16);
+  Sequential seq;
+  seq.add(std::make_unique<Relu>());
+  seq.add(std::make_unique<Conv2d>(2, 2, 3, 1, rng));
+  EXPECT_EQ(seq.size(), 2u);
+  gradient_check(seq, random_tensor({1, 2, 4, 4}, rng), rng, 2e-2);
+}
+
+TEST(CacheStack, ModuleReusableTwiceInOneGraph) {
+  // The same conv applied twice; backward in LIFO order must recover both.
+  Rng rng(17);
+  Conv2d conv(1, 1, 3, 1, rng);
+  Tensor x1 = random_tensor({1, 1, 3, 3}, rng);
+  Tensor x2 = random_tensor({1, 1, 3, 3}, rng);
+  const Tensor y1 = conv.forward(x1);
+  const Tensor y2 = conv.forward(x2);
+  Tensor g({1, 1, 3, 3}, 1.0f);
+  const Tensor gx2 = conv.backward(g);  // pops x2
+  const Tensor gx1 = conv.backward(g);  // pops x1
+  // Both input grads equal the same correlation with the kernel, evaluated
+  // at different cached inputs — for identical upstream grads they match.
+  for (std::size_t i = 0; i < gx1.numel(); ++i)
+    EXPECT_FLOAT_EQ(gx1[i], gx2[i]);
+}
+
+TEST(SoftmaxXent, LossAndGradient) {
+  Tensor logits({2, 3});
+  logits.at2(0, 0) = 2.0f;
+  logits.at2(0, 1) = 0.0f;
+  logits.at2(0, 2) = -1.0f;
+  logits.at2(1, 0) = 0.0f;
+  logits.at2(1, 1) = 0.0f;
+  logits.at2(1, 2) = 0.0f;
+  Tensor grad;
+  const double loss = softmax_cross_entropy(logits, {0, 2}, &grad);
+  EXPECT_GT(loss, 0.0);
+  // Gradient rows sum to zero.
+  for (int b = 0; b < 2; ++b) {
+    float row = 0.0f;
+    for (int c = 0; c < 3; ++c) row += grad.at2(b, c);
+    EXPECT_NEAR(row, 0.0f, 1e-6f);
+  }
+  // Uniform logits: p = 1/3, grad at true label = (1/3 - 1)/N.
+  EXPECT_NEAR(grad.at2(1, 2), (1.0 / 3.0 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxXent, NumericalGradient) {
+  Rng rng(18);
+  Tensor logits = random_tensor({2, 4}, rng);
+  const std::vector<int> labels = {1, 3};
+  Tensor grad;
+  softmax_cross_entropy(logits, labels, &grad);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += eps;
+    Tensor lm = logits;
+    lm[i] -= eps;
+    const double numeric = (softmax_cross_entropy(lp, labels, nullptr) -
+                            softmax_cross_entropy(lm, labels, nullptr)) /
+                           (2.0 * eps);
+    EXPECT_NEAR(grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(SoftmaxXent, BadLabelThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(CountCorrect, CountsArgmaxMatches) {
+  Tensor logits({3, 2});
+  logits.at2(0, 0) = 1.0f;  // pred 0
+  logits.at2(1, 1) = 1.0f;  // pred 1
+  logits.at2(2, 0) = 1.0f;  // pred 0
+  EXPECT_EQ(count_correct(logits, {0, 1, 1}), 2);
+}
+
+}  // namespace
+}  // namespace yoso

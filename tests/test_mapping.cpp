@@ -1,0 +1,224 @@
+#include "accel/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+Layer conv_layer(int hw, int cin, int cout, int k = 3, int stride = 1) {
+  Layer l;
+  l.kind = LayerKind::kConv;
+  l.in_h = hw;
+  l.in_w = hw;
+  l.in_c = cin;
+  l.out_c = cout;
+  l.kernel = k;
+  l.stride = stride;
+  return l;
+}
+
+Layer dw_layer(int hw, int c, int k = 3) {
+  Layer l;
+  l.kind = LayerKind::kDwConv;
+  l.in_h = hw;
+  l.in_w = hw;
+  l.in_c = c;
+  l.out_c = c;
+  l.kernel = k;
+  l.stride = 1;
+  return l;
+}
+
+AcceleratorConfig config(Dataflow df, int rows = 16, int cols = 16,
+                         int gbuf = 512, int rbuf = 256) {
+  return AcceleratorConfig{rows, cols, gbuf, rbuf, df};
+}
+
+TEST(EffFit, Properties) {
+  EXPECT_DOUBLE_EQ(eff_fit(16, 16), 1.0);
+  EXPECT_DOUBLE_EQ(eff_fit(8, 16), 0.5);
+  EXPECT_DOUBLE_EQ(eff_fit(24, 16), 0.75);  // 24 over 2 passes of 16
+  EXPECT_DOUBLE_EQ(eff_fit(0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(eff_fit(16, 0), 0.0);
+  // Never exceeds 1.
+  for (int n = 1; n < 100; ++n) EXPECT_LE(eff_fit(n, 16), 1.0);
+}
+
+TEST(Mapping, UtilizationBounded) {
+  for (int d = 0; d < kNumDataflows; ++d) {
+    const auto m = map_layer(conv_layer(32, 48, 48),
+                             config(static_cast<Dataflow>(d)), {});
+    EXPECT_GT(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0);
+  }
+}
+
+TEST(Mapping, MacsMatchLayerModel) {
+  const Layer l = conv_layer(16, 32, 64);
+  const auto m = map_layer(l, config(Dataflow::kWeightStationary), {});
+  EXPECT_DOUBLE_EQ(m.macs, static_cast<double>(l.macs()));
+}
+
+TEST(Mapping, ComputeCyclesScaleWithArray) {
+  const Layer l = conv_layer(32, 48, 96);
+  const auto small = map_layer(l, config(Dataflow::kOutputStationary, 8, 8), {});
+  const auto big = map_layer(l, config(Dataflow::kOutputStationary, 16, 32), {});
+  EXPECT_GT(small.compute_cycles, big.compute_cycles);
+}
+
+TEST(Mapping, DramTrafficAtLeastCompulsory) {
+  const Layer l = conv_layer(32, 48, 96);
+  const TechnologyParams tech;
+  const double compulsory =
+      (static_cast<double>(l.in_h) * l.in_w * l.in_c +
+       static_cast<double>(l.params()) +
+       static_cast<double>(l.output_elements())) *
+      tech.bytes_per_element;
+  for (int d = 0; d < kNumDataflows; ++d) {
+    const auto m = map_layer(l, config(static_cast<Dataflow>(d)), tech);
+    EXPECT_GE(m.dram_bytes, compulsory * 0.999);
+  }
+}
+
+TEST(Mapping, LargeBufferReachesCompulsoryTraffic) {
+  const Layer l = conv_layer(32, 24, 24);
+  const TechnologyParams tech;
+  const auto m = map_layer(
+      l, config(Dataflow::kWeightStationary, 16, 16, 1024, 256), tech);
+  const double compulsory =
+      (static_cast<double>(l.in_h) * l.in_w * l.in_c +
+       static_cast<double>(l.params()) +
+       static_cast<double>(l.output_elements())) *
+      tech.bytes_per_element;
+  EXPECT_NEAR(m.dram_bytes, compulsory, compulsory * 0.01);
+  EXPECT_FALSE(m.buffer_overflow);
+}
+
+TEST(Mapping, SmallerBufferNeverReducesDram) {
+  const Layer l = conv_layer(32, 96, 192);
+  for (int d = 0; d < kNumDataflows; ++d) {
+    const auto big =
+        map_layer(l, config(static_cast<Dataflow>(d), 16, 16, 1024), {});
+    const auto small =
+        map_layer(l, config(static_cast<Dataflow>(d), 16, 16, 108), {});
+    EXPECT_GE(small.dram_bytes, big.dram_bytes * 0.999)
+        << dataflow_name(static_cast<Dataflow>(d));
+  }
+}
+
+TEST(Mapping, DepthwisePoorOnWeightStationary) {
+  // WS folds the reduction dim onto rows; a 3x3 depthwise only has 9.
+  const auto ws = map_layer(dw_layer(32, 48),
+                            config(Dataflow::kWeightStationary, 16, 16), {});
+  const auto os = map_layer(dw_layer(32, 48),
+                            config(Dataflow::kOutputStationary, 16, 16), {});
+  EXPECT_LT(ws.utilization, os.utilization);
+}
+
+TEST(Mapping, NoLocalReuseHasNoRegisterTraffic) {
+  const auto m =
+      map_layer(conv_layer(16, 32, 32), config(Dataflow::kNoLocalReuse), {});
+  EXPECT_DOUBLE_EQ(m.rbuf_bytes, 0.0);
+  const auto ws = map_layer(conv_layer(16, 32, 32),
+                            config(Dataflow::kWeightStationary), {});
+  EXPECT_GT(ws.rbuf_bytes, 0.0);
+}
+
+TEST(Mapping, NoLocalReuseMovesMoreGbufBytes) {
+  const Layer l = conv_layer(32, 48, 96);
+  const auto nlr = map_layer(l, config(Dataflow::kNoLocalReuse), {});
+  const auto ws = map_layer(l, config(Dataflow::kWeightStationary), {});
+  EXPECT_GT(nlr.gbuf_bytes, ws.gbuf_bytes);
+}
+
+TEST(Mapping, BiggerRegisterBufferReducesGbufTraffic) {
+  const Layer l = conv_layer(32, 48, 96, 5);
+  const auto small =
+      map_layer(l, config(Dataflow::kWeightStationary, 16, 16, 512, 64), {});
+  const auto big =
+      map_layer(l, config(Dataflow::kWeightStationary, 16, 16, 512, 1024), {});
+  EXPECT_LT(big.gbuf_bytes, small.gbuf_bytes);
+}
+
+TEST(Mapping, TotalCyclesCoverComputeAndStalls) {
+  const Layer l = conv_layer(32, 48, 96);
+  for (int d = 0; d < kNumDataflows; ++d) {
+    const auto m = map_layer(l, config(static_cast<Dataflow>(d)), {});
+    EXPECT_GE(m.total_cycles, m.compute_cycles);
+    EXPECT_GE(m.stall_cycles, 0.0);
+    EXPECT_GT(m.total_cycles, 0.0);
+  }
+}
+
+TEST(Mapping, TileFitsBufferWhenNotOverflowing) {
+  const Layer l = conv_layer(32, 96, 192);
+  const TechnologyParams tech;
+  const auto cfg = config(Dataflow::kOutputStationary, 16, 16, 196);
+  const auto m = map_layer(l, cfg, tech);
+  if (!m.buffer_overflow) {
+    const int in_rows =
+        std::min((m.tile.t_h - 1) * l.stride + l.kernel, l.in_h);
+    const double ti = static_cast<double>(in_rows) * l.in_w * m.tile.t_ci *
+                      tech.bytes_per_element;
+    const double tw = 9.0 * m.tile.t_ci * m.tile.t_co *
+                      tech.bytes_per_element;
+    const double to = static_cast<double>(m.tile.t_h) * l.out_w() *
+                      m.tile.t_co * tech.bytes_per_element;
+    EXPECT_LE(2.0 * (ti + tw + to), cfg.g_buf_kb * 1024.0);
+  }
+}
+
+TEST(Mapping, PoolLayerMapped) {
+  Layer l;
+  l.kind = LayerKind::kPool;
+  l.in_h = 16;
+  l.in_w = 16;
+  l.in_c = 32;
+  l.out_c = 32;
+  l.kernel = 3;
+  l.stride = 2;
+  const auto m = map_layer(l, config(Dataflow::kOutputStationary), {});
+  EXPECT_DOUBLE_EQ(m.macs, 0.0);
+  EXPECT_GT(m.dram_bytes, 0.0);
+  EXPECT_GT(m.total_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(m.rbuf_bytes, 0.0);
+}
+
+TEST(Mapping, FullyConnectedMapped) {
+  Layer l;
+  l.kind = LayerKind::kFullyConnected;
+  l.in_h = 1;
+  l.in_w = 1;
+  l.in_c = 256;
+  l.out_c = 10;
+  l.kernel = 1;
+  l.stride = 1;
+  const auto m = map_layer(l, config(Dataflow::kWeightStationary), {});
+  EXPECT_DOUBLE_EQ(m.macs, 2560.0);
+  EXPECT_GT(m.dram_bytes, 2560.0);  // weights dominate
+}
+
+class DataflowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataflowSweep, MappingInvariantsAcrossShapes) {
+  const auto df = static_cast<Dataflow>(GetParam());
+  const TechnologyParams tech;
+  for (int hw : {8, 16, 32}) {
+    for (int c : {16, 48, 96}) {
+      for (int k : {1, 3, 5}) {
+        const auto m = map_layer(conv_layer(hw, c, c, k), config(df), tech);
+        EXPECT_GT(m.utilization, 0.0);
+        EXPECT_LE(m.utilization, 1.0);
+        EXPECT_GE(m.dram_bytes, 0.0);
+        EXPECT_GE(m.gbuf_bytes, m.dram_bytes);  // dram transits gbuf
+        EXPECT_GE(m.total_cycles, m.compute_cycles);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataflows, DataflowSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace yoso

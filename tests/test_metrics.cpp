@@ -1,0 +1,108 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+Tensor logits_for(const std::vector<int>& predictions, int classes) {
+  Tensor t({static_cast<int>(predictions.size()), classes});
+  for (std::size_t b = 0; b < predictions.size(); ++b)
+    t.at2(static_cast<int>(b), predictions[b]) = 5.0f;
+  return t;
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  // predictions: 0,1,2,0; truths: 0,1,1,2
+  cm.add_batch(logits_for({0, 1, 2, 0}, 3), {0, 1, 1, 2});
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.at(0, 0), 1);
+  EXPECT_EQ(cm.at(1, 1), 1);
+  EXPECT_EQ(cm.at(1, 2), 1);
+  EXPECT_EQ(cm.at(2, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, RecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  // truths:      0 0 0 1
+  // predictions: 0 0 1 1
+  cm.add_batch(logits_for({0, 0, 1, 1}, 2), {0, 0, 0, 1});
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);
+}
+
+TEST(ConfusionMatrixTest, AbsentClassZeroRecall) {
+  ConfusionMatrix cm(3);
+  cm.add_batch(logits_for({0}, 3), {0});
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, WorstConfusionFindsHotOffDiagonal) {
+  ConfusionMatrix cm(3);
+  cm.add_batch(logits_for({2, 2, 2, 1}, 3), {0, 0, 0, 0});
+  const auto [truth, predicted] = cm.worst_confusion();
+  EXPECT_EQ(truth, 0);
+  EXPECT_EQ(predicted, 2);
+}
+
+TEST(ConfusionMatrixTest, Validation) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+  ConfusionMatrix cm(3);
+  EXPECT_THROW(cm.add_batch(logits_for({0}, 2), {0}),
+               std::invalid_argument);
+  EXPECT_THROW(cm.add_batch(logits_for({0}, 3), {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(cm.add_batch(logits_for({0}, 3), {7}),
+               std::invalid_argument);
+}
+
+TEST(TopK, KnownValues) {
+  Tensor logits({2, 4});
+  // Sample 0: logits 3,2,1,0 — truth 2 is third best.
+  logits.at2(0, 0) = 3;
+  logits.at2(0, 1) = 2;
+  logits.at2(0, 2) = 1;
+  logits.at2(0, 3) = 0;
+  // Sample 1: truth 0 is best.
+  logits.at2(1, 0) = 9;
+  const std::vector<int> labels = {2, 0};
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 1), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 3), 1.0);
+  EXPECT_THROW(top_k_accuracy(logits, labels, 0), std::invalid_argument);
+  EXPECT_THROW(top_k_accuracy(logits, labels, 5), std::invalid_argument);
+}
+
+TEST(TopK, MonotoneInK) {
+  Rng rng(3);
+  Tensor logits({20, 10});
+  for (float& v : logits.data()) v = static_cast<float>(rng.normal());
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) labels.push_back(i % 10);
+  double prev = 0.0;
+  for (int k = 1; k <= 10; ++k) {
+    const double acc = top_k_accuracy(logits, labels, k);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // top-10 over 10 classes is always 1
+}
+
+TEST(EvaluateConfusion, MatchesEvaluate) {
+  SynthCifar task(8, 10, 3);
+  const Dataset val = task.generate(4, 2);
+  Rng rng(5);
+  PathNetwork net(tiny_skeleton(8, 4), 7);
+  const Genotype g = random_genotype(rng);
+  const ConfusionMatrix cm = evaluate_confusion(net, g, val, 16);
+  EXPECT_EQ(cm.total(), static_cast<long long>(val.size()));
+  EXPECT_NEAR(cm.accuracy(), net.evaluate(g, val, 16), 1e-12);
+}
+
+}  // namespace
+}  // namespace yoso

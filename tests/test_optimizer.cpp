@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yoso {
+namespace {
+
+Param make_param(float value, float grad) {
+  Param p;
+  p.value = Tensor({1}, value);
+  p.grad = Tensor({1}, grad);
+  p.dirty = true;
+  return p;
+}
+
+TEST(SgdOptimizer, BasicUpdateAndGradReset) {
+  Param p = make_param(1.0f, 0.5f);
+  SgdOptimizer opt(0.0, 0.0);
+  opt.step({&p}, 0.1);
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-7f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+  EXPECT_FALSE(p.dirty);
+}
+
+TEST(SgdOptimizer, SkipsCleanParams) {
+  Param p = make_param(1.0f, 0.5f);
+  p.dirty = false;
+  SgdOptimizer opt(0.0, 0.0);
+  opt.step({&p}, 0.1);
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.5f);  // untouched
+}
+
+TEST(SgdOptimizer, MomentumAccumulates) {
+  Param p = make_param(0.0f, 1.0f);
+  SgdOptimizer opt(0.9, 0.0);
+  opt.step({&p}, 1.0);
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-7f);  // m = 1
+  p.grad[0] = 1.0f;
+  p.dirty = true;
+  opt.step({&p}, 1.0);
+  // m = 0.9*1 + 1 = 1.9 -> value = -1 - 1.9 = -2.9
+  EXPECT_NEAR(p.value[0], -2.9f, 1e-6f);
+}
+
+TEST(SgdOptimizer, WeightDecayPullsTowardZero) {
+  Param p = make_param(10.0f, 0.0f);
+  p.dirty = true;
+  SgdOptimizer opt(0.0, 0.1);
+  opt.step({&p}, 1.0);
+  EXPECT_NEAR(p.value[0], 9.0f, 1e-6f);
+}
+
+TEST(SgdOptimizer, MomentumBufferLazilySized) {
+  Param p = make_param(1.0f, 1.0f);
+  EXPECT_EQ(p.momentum.numel(), 0u);
+  SgdOptimizer opt(0.9, 0.0);
+  opt.step({&p}, 0.1);
+  EXPECT_EQ(p.momentum.numel(), 1u);
+}
+
+TEST(CosineLr, Endpoints) {
+  EXPECT_NEAR(cosine_lr(0, 100, 0.05, 0.0001), 0.05, 1e-12);
+  EXPECT_NEAR(cosine_lr(99, 100, 0.05, 0.0001), 0.0001, 1e-12);
+}
+
+TEST(CosineLr, Midpoint) {
+  const double mid = cosine_lr(50, 101, 1.0, 0.0);
+  EXPECT_NEAR(mid, 0.5, 1e-9);
+}
+
+TEST(CosineLr, MonotoneDecreasing) {
+  double prev = 1e9;
+  for (std::size_t s = 0; s < 50; ++s) {
+    const double lr = cosine_lr(s, 50, 0.05, 0.0001);
+    EXPECT_LT(lr, prev + 1e-15);
+    prev = lr;
+  }
+}
+
+TEST(CosineLr, DegenerateTotal) {
+  EXPECT_DOUBLE_EQ(cosine_lr(0, 1, 0.05, 0.001), 0.001);
+  EXPECT_DOUBLE_EQ(cosine_lr(5, 0, 0.05, 0.001), 0.001);
+}
+
+TEST(CosineLr, StepBeyondTotalClamps) {
+  EXPECT_NEAR(cosine_lr(500, 100, 0.05, 0.0001), 0.0001, 1e-12);
+}
+
+}  // namespace
+}  // namespace yoso

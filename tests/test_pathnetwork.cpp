@@ -1,0 +1,160 @@
+#include "nn/network.h"
+
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+Tensor random_images(int n, int hw, Rng& rng) {
+  Tensor t({n, 3, hw, hw});
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  return t;
+}
+
+TEST(PathNetwork, LogitsShape) {
+  Rng rng(1);
+  PathNetwork net(tiny_skeleton(8, 4), 11);
+  const Genotype g = random_genotype(rng);
+  const Tensor logits = net.forward(g, random_images(3, 8, rng));
+  EXPECT_EQ(logits.dim(0), 3);
+  EXPECT_EQ(logits.dim(1), 10);
+  net.clear_cache();
+}
+
+TEST(PathNetwork, EmptySkeletonThrows) {
+  NetworkSkeleton s = tiny_skeleton();
+  s.cells.clear();
+  EXPECT_THROW(PathNetwork(s, 1), std::invalid_argument);
+}
+
+TEST(PathNetwork, DeterministicForSameSeed) {
+  Rng rng(2);
+  const Genotype g = random_genotype(rng);
+  Rng img_rng(3);
+  const Tensor images = random_images(2, 8, img_rng);
+  PathNetwork a(tiny_skeleton(8, 4), 42);
+  PathNetwork b(tiny_skeleton(8, 4), 42);
+  const Tensor ya = a.forward(g, images);
+  const Tensor yb = b.forward(g, images);
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(PathNetwork, DifferentPathsDifferentLogits) {
+  Rng rng(4);
+  PathNetwork net(tiny_skeleton(8, 4), 7);
+  Rng img_rng(5);
+  const Tensor images = random_images(2, 8, img_rng);
+  const Genotype g1 = random_genotype(rng);
+  const Genotype g2 = random_genotype(rng);
+  ASSERT_FALSE(g1 == g2);
+  const Tensor y1 = net.forward(g1, images);
+  const Tensor y2 = net.forward(g2, images);
+  net.clear_cache();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < y1.numel(); ++i)
+    any_diff |= y1[i] != y2[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PathNetwork, BackwardWithoutForwardThrows) {
+  PathNetwork net(tiny_skeleton(8, 4), 7);
+  EXPECT_THROW(net.backward(Tensor({1, 10})), std::logic_error);
+}
+
+TEST(PathNetwork, ParamCountGrowsLazily) {
+  Rng rng(6);
+  PathNetwork net(tiny_skeleton(8, 4), 7);
+  const std::size_t initial = net.param_count();  // stem only
+  EXPECT_GT(initial, 0u);
+  Rng img_rng(8);
+  net.forward(random_genotype(rng), random_images(1, 8, img_rng));
+  net.clear_cache();
+  const std::size_t after = net.param_count();
+  EXPECT_GT(after, initial);
+  net.forward(random_genotype(rng), random_images(1, 8, img_rng));
+  net.clear_cache();
+  EXPECT_GE(net.param_count(), after);
+}
+
+TEST(PathNetwork, EvaluateReturnsFractionInRange) {
+  Rng rng(9);
+  PathNetwork net(tiny_skeleton(8, 4), 7);
+  Dataset ds;
+  Rng img_rng(10);
+  ds.images = random_images(20, 8, img_rng);
+  for (int i = 0; i < 20; ++i) ds.labels.push_back(i % 10);
+  const double acc = net.evaluate(random_genotype(rng), ds, 8);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(PathNetwork, EvaluateMaxBatchesLimitsWork) {
+  Rng rng(11);
+  PathNetwork net(tiny_skeleton(8, 4), 7);
+  Dataset ds;
+  Rng img_rng(12);
+  ds.images = random_images(40, 8, img_rng);
+  for (int i = 0; i < 40; ++i) ds.labels.push_back(i % 10);
+  // Only sanity: runs and returns a valid fraction.
+  const double acc = net.evaluate(random_genotype(rng), ds, 8, 2);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(PathNetwork, TrainingStepReducesLossOnFixedBatch) {
+  Rng rng(13);
+  const Genotype g = random_genotype(rng);
+  PathNetwork net(tiny_skeleton(8, 6), 21);
+  Rng img_rng(14);
+  const Tensor images = random_images(8, 8, img_rng);
+  std::vector<int> labels;
+  for (int i = 0; i < 8; ++i) labels.push_back(i % 10);
+
+  SgdOptimizer opt(0.9, 0.0);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 20; ++step) {
+    const Tensor logits = net.forward(g, images);
+    Tensor grad;
+    const double loss = softmax_cross_entropy(logits, labels, &grad);
+    net.backward(grad);
+    std::vector<Param*> params;
+    net.collect_params(params);
+    opt.step(params, 0.05);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.8);
+}
+
+TEST(PathNetwork, GradientsOnlyTouchSampledPath) {
+  Rng rng(15);
+  PathNetwork net(tiny_skeleton(8, 4), 31);
+  Rng img_rng(16);
+  const Tensor images = random_images(2, 8, img_rng);
+  const Genotype g1 = random_genotype(rng);
+  const Genotype g2 = random_genotype(rng);
+  // Materialise both paths' params.
+  net.forward(g1, images);
+  net.clear_cache();
+  net.forward(g2, images);
+  net.clear_cache();
+
+  // Backward through g1 only.
+  const Tensor logits = net.forward(g1, images);
+  Tensor grad;
+  softmax_cross_entropy(logits, {1, 2}, &grad);
+  net.backward(grad);
+
+  std::vector<Param*> params;
+  net.collect_params(params);
+  std::size_t dirty = 0;
+  for (const Param* p : params) dirty += p->dirty ? 1 : 0;
+  EXPECT_GT(dirty, 0u);
+  EXPECT_LT(dirty, params.size());  // the g2-only edges stay clean
+}
+
+}  // namespace
+}  // namespace yoso

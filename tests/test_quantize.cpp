@@ -1,0 +1,151 @@
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/trainer.h"
+
+namespace yoso {
+namespace {
+
+Param make_param(std::initializer_list<float> values) {
+  Param p;
+  p.value = Tensor({static_cast<int>(values.size())});
+  std::size_t i = 0;
+  for (float v : values) p.value[i++] = v;
+  return p;
+}
+
+TEST(Quantize, RepresentableValuesSurvive) {
+  // With max|w| = 1 and 8 bits, the grid step is 1/127 — grid points are
+  // exactly representable.
+  Param p = make_param({1.0f, -1.0f, 0.0f, 64.0f / 127.0f});
+  std::vector<Param*> params = {&p};
+  const auto stats = quantize_parameters(params, 8);
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f);
+  EXPECT_FLOAT_EQ(p.value[2], 0.0f);
+  EXPECT_NEAR(p.value[3], 64.0f / 127.0f, 1e-7f);
+  EXPECT_EQ(stats.values, 4u);
+  EXPECT_EQ(stats.tensors, 1u);
+}
+
+TEST(Quantize, ErrorBoundedByHalfStep) {
+  Rng rng(3);
+  Param p;
+  p.value = Tensor({1000});
+  for (float& v : p.value.data()) v = static_cast<float>(rng.normal(0, 0.2));
+  float max_abs = 0.0f;
+  for (float v : p.value.data()) max_abs = std::max(max_abs, std::abs(v));
+  std::vector<Param*> params = {&p};
+  const auto stats = quantize_parameters(params, 8);
+  const double step = max_abs / 127.0;
+  EXPECT_LE(stats.max_abs_error, step / 2.0 + 1e-7);
+  EXPECT_GT(stats.mean_abs_error, 0.0);
+}
+
+TEST(Quantize, MoreBitsLessError) {
+  Rng rng(5);
+  std::vector<float> base(500);
+  for (float& v : base) v = static_cast<float>(rng.normal(0, 0.3));
+  double prev_err = 1e9;
+  for (int bits : {4, 8, 12, 16}) {
+    Param p;
+    p.value = Tensor({500});
+    for (std::size_t i = 0; i < base.size(); ++i) p.value[i] = base[i];
+    std::vector<Param*> params = {&p};
+    const auto stats = quantize_parameters(params, bits);
+    EXPECT_LT(stats.max_abs_error, prev_err);
+    prev_err = stats.max_abs_error;
+  }
+}
+
+TEST(Quantize, AllZeroTensorUnchanged) {
+  Param p = make_param({0.0f, 0.0f});
+  std::vector<Param*> params = {&p};
+  const auto stats = quantize_parameters(params, 8);
+  EXPECT_FLOAT_EQ(p.value[0], 0.0f);
+  EXPECT_DOUBLE_EQ(stats.max_abs_error, 0.0);
+}
+
+TEST(Quantize, RejectsBadBits) {
+  Param p = make_param({1.0f});
+  std::vector<Param*> params = {&p};
+  EXPECT_THROW(quantize_parameters(params, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_parameters(params, 17), std::invalid_argument);
+}
+
+TEST(WeightSnapshotTest, RestoresAfterMutation) {
+  Rng rng(7);
+  PathNetwork net(tiny_skeleton(8, 4), 11);
+  const Genotype g = random_genotype(rng);
+  // Materialise some params.
+  Tensor images({1, 3, 8, 8}, 0.1f);
+  net.forward(g, images);
+  net.clear_cache();
+
+  std::vector<Param*> params;
+  net.collect_params(params);
+  const float original = params[0]->value[0];
+  {
+    WeightSnapshot snap(net);
+    params[0]->value[0] = 123.0f;
+  }
+  EXPECT_FLOAT_EQ(params[0]->value[0], original);
+}
+
+TEST(WeightSnapshotTest, ExplicitRestoreIdempotent) {
+  PathNetwork net(tiny_skeleton(8, 4), 13);
+  std::vector<Param*> params;
+  net.collect_params(params);
+  const float original = params[0]->value[0];
+  WeightSnapshot snap(net);
+  params[0]->value[0] = 5.0f;
+  snap.restore();
+  EXPECT_FLOAT_EQ(params[0]->value[0], original);
+  params[0]->value[0] = 9.0f;
+  snap.restore();  // second restore is a no-op
+  EXPECT_FLOAT_EQ(params[0]->value[0], 9.0f);
+}
+
+TEST(EvaluateQuantized, SixteenBitsMatchesFloatAndRestores) {
+  SynthCifar task(8, 10, 3);
+  const Dataset train = task.generate(10, 1);
+  const Dataset val = task.generate(5, 2);
+  Rng rng(9);
+  const Genotype g = random_genotype(rng);
+  PathNetwork net(tiny_skeleton(8, 6), 17);
+  TrainOptions opt;
+  opt.epochs = 3;
+  opt.batch_size = 20;
+  train_standalone(net, g, train, val, opt, rng);
+
+  const double fp = net.evaluate(g, val, 20);
+  const double q16 = evaluate_quantized(net, g, val, 16, 20);
+  // 16-bit grid is far finer than the decision boundaries at this scale.
+  EXPECT_NEAR(q16, fp, 0.06);
+  // Weights restored: float evaluation reproduces exactly.
+  EXPECT_DOUBLE_EQ(net.evaluate(g, val, 20), fp);
+}
+
+TEST(EvaluateQuantized, VeryLowBitsDegrade) {
+  SynthCifar task(8, 10, 5);
+  const Dataset train = task.generate(10, 1);
+  const Dataset val = task.generate(5, 2);
+  Rng rng(11);
+  const Genotype g = random_genotype(rng);
+  PathNetwork net(tiny_skeleton(8, 6), 19);
+  TrainOptions opt;
+  opt.epochs = 3;
+  opt.batch_size = 20;
+  train_standalone(net, g, train, val, opt, rng);
+
+  const double fp = net.evaluate(g, val, 20);
+  const double q2 = evaluate_quantized(net, g, val, 2, 20);
+  // 2-bit weights (values in {-2s,-s,0,s}) should not beat float.
+  EXPECT_LE(q2, fp + 1e-9);
+}
+
+}  // namespace
+}  // namespace yoso

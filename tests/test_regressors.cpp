@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predictor/gp.h"
+#include "predictor/models.h"
+#include "util/stats.h"
+
+namespace yoso {
+namespace {
+
+/// y = 3 x0 - 2 x1 + 1 + noise
+struct LinearData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+LinearData make_linear(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  LinearData d;
+  d.x = Matrix(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    d.x(r, 0) = rng.uniform(-2.0, 2.0);
+    d.x(r, 1) = rng.uniform(-2.0, 2.0);
+    d.y.push_back(3.0 * d.x(r, 0) - 2.0 * d.x(r, 1) + 1.0 +
+                  rng.normal(0.0, noise));
+  }
+  return d;
+}
+
+/// y = sin(2 x0) + x1^2
+LinearData make_nonlinear(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  LinearData d;
+  d.x = Matrix(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    d.x(r, 0) = rng.uniform(-2.0, 2.0);
+    d.x(r, 1) = rng.uniform(-2.0, 2.0);
+    d.y.push_back(std::sin(2.0 * d.x(r, 0)) + d.x(r, 1) * d.x(r, 1));
+  }
+  return d;
+}
+
+TEST(Standardizer, ZeroMeanUnitStd) {
+  const auto d = make_linear(200, 0.0, 1);
+  Standardizer s;
+  s.fit(d.x);
+  const Matrix t = s.transform(d.x);
+  for (std::size_t c = 0; c < t.cols(); ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      sum += t(r, c);
+      sq += t(r, c) * t(r, c);
+    }
+    EXPECT_NEAR(sum / t.rows(), 0.0, 1e-9);
+    EXPECT_NEAR(sq / t.rows(), 1.0, 1e-9);
+  }
+}
+
+TEST(Standardizer, ConstantFeatureSafe) {
+  Matrix x(10, 1, 5.0);
+  Standardizer s;
+  s.fit(x);
+  const auto row = s.transform_row(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(Standardizer, UnfittedThrows) {
+  Standardizer s;
+  EXPECT_THROW(s.transform(Matrix(1, 1)), std::logic_error);
+}
+
+TEST(LinearRegressor, RecoversExactLinearModel) {
+  const auto d = make_linear(100, 0.0, 2);
+  LinearRegressor lin;
+  lin.fit(d.x, d.y);
+  const auto test = make_linear(20, 0.0, 3);
+  const auto pred = lin.predict_all(test.x);
+  EXPECT_LT(mse(pred, test.y), 1e-10);
+}
+
+TEST(LinearRegressor, UnfittedThrows) {
+  LinearRegressor lin;
+  EXPECT_THROW(lin.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(RidgeRegressor, ShrinksButStillPredicts) {
+  const auto d = make_linear(100, 0.1, 4);
+  LinearRegressor ridge(5.0, "ridge");
+  ridge.fit(d.x, d.y);
+  const auto test = make_linear(30, 0.0, 5);
+  EXPECT_LT(mse(ridge.predict_all(test.x), test.y), 0.5);
+  EXPECT_EQ(ridge.name(), "ridge");
+}
+
+TEST(KnnRegressor, InterpolatesLocally) {
+  const auto d = make_nonlinear(400, 6);
+  KnnRegressor knn(4);
+  knn.fit(d.x, d.y);
+  const auto test = make_nonlinear(50, 7);
+  EXPECT_LT(mse(knn.predict_all(test.x), test.y), 0.15);
+}
+
+TEST(KnnRegressor, KLargerThanDatasetHandled) {
+  KnnRegressor knn(50);
+  Matrix x(3, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 2.0;
+  const std::vector<double> y = {0.0, 1.0, 2.0};
+  knn.fit(x, y);
+  // Distance-weighted mean of all three points.
+  const double p = knn.predict(std::vector<double>{1.0});
+  EXPECT_NEAR(p, 1.0, 0.3);
+}
+
+TEST(DecisionTree, FitsPiecewiseStructure) {
+  const auto d = make_nonlinear(500, 8);
+  DecisionTreeRegressor tree(10, 2);
+  tree.fit(d.x, d.y);
+  const auto test = make_nonlinear(60, 9);
+  EXPECT_LT(mse(tree.predict_all(test.x), test.y), 0.25);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  // With min_samples_leaf == n the tree must be a single leaf = mean.
+  const auto d = make_linear(20, 0.0, 10);
+  DecisionTreeRegressor tree(10, 20);
+  tree.fit(d.x, d.y);
+  const double expected = mean(d.y);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.0, 0.0}), expected, 1e-9);
+}
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  Rng noise_rng(11);
+  auto d = make_nonlinear(400, 12);
+  for (auto& v : d.y) v += noise_rng.normal(0.0, 0.3);
+  DecisionTreeRegressor tree(14, 1);
+  RandomForestRegressor forest(30, 14, 1);
+  tree.fit(d.x, d.y);
+  forest.fit(d.x, d.y);
+  const auto test = make_nonlinear(80, 13);
+  const double mse_tree = mse(tree.predict_all(test.x), test.y);
+  const double mse_forest = mse(forest.predict_all(test.x), test.y);
+  EXPECT_LT(mse_forest, mse_tree);
+}
+
+TEST(AllModels, RejectBadShapes) {
+  Matrix x(3, 2);
+  std::vector<double> y = {1.0, 2.0};  // mismatched
+  LinearRegressor lin;
+  KnnRegressor knn;
+  DecisionTreeRegressor tree;
+  RandomForestRegressor forest;
+  GpRegressor gp;
+  EXPECT_THROW(knn.fit(x, y), std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, y), std::invalid_argument);
+  EXPECT_THROW(forest.fit(x, y), std::invalid_argument);
+  EXPECT_THROW(gp.fit(x, y), std::invalid_argument);
+}
+
+TEST(GpRegressor, InterpolatesTrainingPoints) {
+  const auto d = make_nonlinear(60, 14);
+  GpRegressor gp;
+  gp.fit(d.x, d.y);
+  for (std::size_t r = 0; r < 10; ++r)
+    EXPECT_NEAR(gp.predict(d.x.row(r)), d.y[r], 0.05);
+}
+
+TEST(GpRegressor, GeneralisesSmoothFunction) {
+  const auto d = make_nonlinear(300, 15);
+  GpRegressor gp;
+  gp.fit(d.x, d.y);
+  const auto test = make_nonlinear(50, 16);
+  EXPECT_LT(mse(gp.predict_all(test.x), test.y), 0.02);
+}
+
+TEST(GpRegressor, VarianceSmallAtTrainLargeFar) {
+  const auto d = make_linear(50, 0.0, 17);
+  GpRegressor gp;
+  gp.fit(d.x, d.y);
+  const auto [mu_train, var_train] = gp.predict_with_variance(d.x.row(0));
+  const std::vector<double> far = {50.0, -50.0};
+  const auto [mu_far, var_far] = gp.predict_with_variance(far);
+  EXPECT_LT(var_train, var_far);
+  EXPECT_GT(var_far, 0.0);
+  // Mean-only prediction equals the mean from the variance path.
+  EXPECT_NEAR(gp.predict(d.x.row(0)), mu_train, 1e-9);
+}
+
+TEST(GpRegressor, LogMarginalLikelihoodFinite) {
+  const auto d = make_nonlinear(80, 18);
+  GpRegressor gp;
+  gp.fit(d.x, d.y);
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+  EXPECT_GT(gp.hyper_params().lengthscale, 0.0);
+  EXPECT_GT(gp.hyper_params().noise_variance, 0.0);
+}
+
+TEST(GpRegressor, FixedHyperParamsMode) {
+  GpHyperParams hp;
+  hp.lengthscale = 1.0;
+  hp.signal_variance = 2.0;
+  hp.noise_variance = 1e-4;
+  GpRegressor gp(hp, /*tune=*/false);
+  const auto d = make_linear(40, 0.0, 19);
+  gp.fit(d.x, d.y);
+  EXPECT_DOUBLE_EQ(gp.hyper_params().lengthscale, 1.0);
+  EXPECT_DOUBLE_EQ(gp.hyper_params().signal_variance, 2.0);
+}
+
+TEST(GpRegressor, UnfittedThrows) {
+  GpRegressor gp;
+  EXPECT_THROW(gp.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+// The Fig-4 headline at miniature scale: GP beats the other five families
+// on a smooth multi-dimensional target.
+TEST(Fig4Property, GpWinsOnSmoothTarget) {
+  const auto train = make_nonlinear(250, 20);
+  const auto test = make_nonlinear(60, 21);
+  GpRegressor gp;
+  gp.fit(train.x, train.y);
+  const double gp_mse = mse(gp.predict_all(test.x), test.y);
+
+  LinearRegressor lin;
+  LinearRegressor ridge(1.0, "ridge");
+  KnnRegressor knn(6);
+  DecisionTreeRegressor tree(12, 3);
+  RandomForestRegressor forest(25, 12, 2);
+  for (Regressor* r : std::initializer_list<Regressor*>{&lin, &ridge, &knn,
+                                                        &tree, &forest}) {
+    r->fit(train.x, train.y);
+    EXPECT_GT(mse(r->predict_all(test.x), test.y), gp_mse) << r->name();
+  }
+}
+
+class NoiseLevelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseLevelSweep, GpStableUnderTargetNoise) {
+  Rng rng(22);
+  auto d = make_nonlinear(150, 23);
+  for (auto& v : d.y) v += rng.normal(0.0, GetParam());
+  GpRegressor gp;
+  gp.fit(d.x, d.y);
+  const auto clean = make_nonlinear(40, 24);
+  const double err = mse(gp.predict_all(clean.x), clean.y);
+  EXPECT_LT(err, 0.08 + 2.5 * GetParam() * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, NoiseLevelSweep,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.5));
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,82 @@
+#include "rl/reinforce.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+std::vector<int> toy_cards() { return {3, 3, 3, 3, 3, 3}; }
+
+TEST(ReinforceTrainer, BaselineTracksRewards) {
+  LstmController ctrl(toy_cards(), {});
+  ReinforceOptions opt;
+  opt.baseline_decay = 0.5;
+  ReinforceTrainer trainer(ctrl, opt);
+  EXPECT_DOUBLE_EQ(trainer.baseline_value(), 0.0);
+  Rng rng(1);
+  const Episode ep = trainer.propose(rng);
+  trainer.feedback(ep, 2.0);
+  EXPECT_DOUBLE_EQ(trainer.baseline_value(), 2.0);
+  trainer.feedback(trainer.propose(rng), 4.0);
+  EXPECT_DOUBLE_EQ(trainer.baseline_value(), 3.0);
+  EXPECT_EQ(trainer.episodes_seen(), 2u);
+}
+
+TEST(ReinforceTrainer, LearnsToyObjective) {
+  LstmController ctrl(toy_cards(), {});
+  ReinforceTrainer trainer(ctrl, {});
+  Rng rng(2);
+  for (int it = 0; it < 1500; ++it) {
+    const Episode ep = trainer.propose(rng);
+    double r = 0.0;
+    for (int a : ep.actions) r += a == 2 ? 1.0 : 0.0;
+    trainer.feedback(ep, r / 6.0);
+  }
+  const auto best = ctrl.argmax_actions();
+  int correct = 0;
+  for (int a : best) correct += a == 2 ? 1 : 0;
+  EXPECT_GE(correct, 5);
+}
+
+TEST(ReinforceTrainer, BatchedUpdatesDeferAdam) {
+  LstmController ctrl(toy_cards(), {});
+  ReinforceOptions opt;
+  opt.batch_size = 4;
+  ReinforceTrainer trainer(ctrl, opt);
+  Rng rng(3);
+  const auto before = ctrl.argmax_actions();
+  // Three feedbacks: still pending, no Adam step applied yet.
+  for (int i = 0; i < 3; ++i) trainer.feedback(trainer.propose(rng), 1.0);
+  EXPECT_EQ(ctrl.argmax_actions(), before);
+  trainer.feedback(trainer.propose(rng), 1.0);  // fourth triggers update
+  // (Policy may or may not change argmax; we only require no crash and the
+  // episode counter being right.)
+  EXPECT_EQ(trainer.episodes_seen(), 4u);
+}
+
+TEST(ReinforceTrainer, NoBaselineModeRuns) {
+  LstmController ctrl(toy_cards(), {});
+  ReinforceOptions opt;
+  opt.use_baseline = false;
+  ReinforceTrainer trainer(ctrl, opt);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) trainer.feedback(trainer.propose(rng), 0.5);
+  EXPECT_EQ(trainer.episodes_seen(), 20u);
+}
+
+TEST(RandomSearcher, UniformOverSpace) {
+  RandomSearcher searcher({2, 5});
+  Rng rng(5);
+  std::vector<int> counts0(2, 0), counts1(5, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto a = searcher.propose(rng);
+    ASSERT_EQ(a.size(), 2u);
+    ++counts0[static_cast<std::size_t>(a[0])];
+    ++counts1[static_cast<std::size_t>(a[1])];
+  }
+  EXPECT_NEAR(counts0[0], 3500, 350);
+  for (int c : counts1) EXPECT_NEAR(c, 1400, 250);
+}
+
+}  // namespace
+}  // namespace yoso

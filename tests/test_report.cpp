@@ -1,0 +1,93 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+SearchResult small_search_result(const NetworkSkeleton& skeleton) {
+  DesignSpace space;
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  FastEvaluator fast(space, skeleton, sim,
+                     {.predictor_samples = 120, .seed = 3});
+  AccurateEvaluator accurate(skeleton,
+                             SystolicSimulator({}, SimFidelity::kAnalytical));
+  SearchOptions opt;
+  opt.iterations = 60;
+  opt.top_n = 3;
+  opt.reward = balanced_reward();
+  opt.seed = 5;
+  return YosoSearch(space, opt).run(fast, &accurate);
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    skeleton_ = new NetworkSkeleton(default_skeleton());
+    result_ = new SearchResult(small_search_result(*skeleton_));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete skeleton_;
+  }
+  static NetworkSkeleton* skeleton_;
+  static SearchResult* result_;
+};
+
+NetworkSkeleton* ReportTest::skeleton_ = nullptr;
+SearchResult* ReportTest::result_ = nullptr;
+
+TEST_F(ReportTest, ContainsAllSections) {
+  const std::string md =
+      render_design_report(*result_, *skeleton_, balanced_reward());
+  for (const char* section :
+       {"# YOSO co-design report", "## Solution", "## Accelerator",
+        "## Energy breakdown", "## Network", "### Layers", "## Search"})
+    EXPECT_NE(md.find(section), std::string::npos) << section;
+}
+
+TEST_F(ReportTest, ReportsConfigAndThresholds) {
+  const std::string md =
+      render_design_report(*result_, *skeleton_, balanced_reward());
+  EXPECT_NE(md.find(result_->best->candidate.config.to_string()),
+            std::string::npos);
+  EXPECT_NE(md.find("9.0 mJ"), std::string::npos);
+  EXPECT_NE(md.find("1.2 ms"), std::string::npos);
+}
+
+TEST_F(ReportTest, GenotypeBlockOptional) {
+  ReportOptions opt;
+  opt.include_genotype = false;
+  const std::string md =
+      render_design_report(*result_, *skeleton_, balanced_reward(), opt);
+  EXPECT_EQ(md.find("normal="), std::string::npos);
+  const std::string with =
+      render_design_report(*result_, *skeleton_, balanced_reward());
+  EXPECT_NE(with.find("normal="), std::string::npos);
+}
+
+TEST_F(ReportTest, LayerTableTruncates) {
+  ReportOptions opt;
+  opt.max_layers = 5;
+  const std::string md =
+      render_design_report(*result_, *skeleton_, balanced_reward(), opt);
+  EXPECT_NE(md.find("more)"), std::string::npos);
+}
+
+TEST_F(ReportTest, NoLayerTableWhenDisabled) {
+  ReportOptions opt;
+  opt.include_layer_table = false;
+  const std::string md =
+      render_design_report(*result_, *skeleton_, balanced_reward(), opt);
+  EXPECT_EQ(md.find("### Layers"), std::string::npos);
+}
+
+TEST(Report, ThrowsWithoutBest) {
+  SearchResult empty;
+  EXPECT_THROW(
+      render_design_report(empty, default_skeleton(), balanced_reward()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

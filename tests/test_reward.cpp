@@ -1,0 +1,107 @@
+#include "core/reward.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yoso {
+namespace {
+
+EvalResult result(double acc, double lat, double eer) {
+  return EvalResult{acc, lat, eer};
+}
+
+TEST(Reward, FormulaExactValue) {
+  RewardParams p;
+  p.alpha_lat = 0.5;
+  p.omega_lat = -0.4;
+  p.alpha_eer = 0.5;
+  p.omega_eer = -0.4;
+  p.t_lat_ms = 1.2;
+  p.t_eer_mj = 9.0;
+  const EvalResult r = result(0.97, 0.6, 4.5);
+  const double expected = 0.97 + 0.5 * std::pow(0.6 / 1.2, -0.4) +
+                          0.5 * std::pow(4.5 / 9.0, -0.4);
+  EXPECT_NEAR(p.compute(r), expected, 1e-12);
+}
+
+TEST(Reward, AtThresholdTermsEqualAlpha) {
+  RewardParams p = balanced_reward();
+  const EvalResult r = result(0.9, p.t_lat_ms, p.t_eer_mj);
+  EXPECT_NEAR(p.compute(r), 0.9 + p.alpha_lat + p.alpha_eer, 1e-12);
+}
+
+TEST(Reward, FasterAndLeanerScoresHigher) {
+  RewardParams p = balanced_reward();
+  EXPECT_GT(p.compute(result(0.95, 0.6, 4.0)),
+            p.compute(result(0.95, 1.2, 9.0)));
+  EXPECT_GT(p.compute(result(0.95, 1.2, 9.0)),
+            p.compute(result(0.95, 2.4, 18.0)));
+}
+
+TEST(Reward, AccuracyMonotone) {
+  RewardParams p = balanced_reward();
+  EXPECT_GT(p.compute(result(0.97, 1.0, 8.0)),
+            p.compute(result(0.90, 1.0, 8.0)));
+}
+
+TEST(Reward, NonPositivePerformanceThrows) {
+  RewardParams p = balanced_reward();
+  EXPECT_THROW(p.compute(result(0.9, 0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW(p.compute(result(0.9, 1.0, -2.0)), std::invalid_argument);
+}
+
+TEST(Reward, FeasibilityUsesPaperThresholds) {
+  RewardParams p = balanced_reward();
+  EXPECT_DOUBLE_EQ(p.t_lat_ms, 1.2);  // §IV.A
+  EXPECT_DOUBLE_EQ(p.t_eer_mj, 9.0);
+  EXPECT_TRUE(p.feasible(result(0.9, 1.2, 9.0)));
+  EXPECT_FALSE(p.feasible(result(0.99, 1.3, 5.0)));
+  EXPECT_FALSE(p.feasible(result(0.99, 0.5, 9.1)));
+}
+
+TEST(Reward, PresetsMatchFig6Coefficients) {
+  const RewardParams a = balanced_reward();
+  EXPECT_DOUBLE_EQ(a.alpha_lat, 0.5);
+  EXPECT_DOUBLE_EQ(a.omega_lat, -0.4);
+  EXPECT_DOUBLE_EQ(a.alpha_eer, 0.5);
+  EXPECT_DOUBLE_EQ(a.omega_eer, -0.4);
+
+  const RewardParams e = energy_opt_reward();
+  EXPECT_DOUBLE_EQ(e.alpha_eer, 0.6);
+  EXPECT_DOUBLE_EQ(e.omega_eer, -0.4);
+  EXPECT_DOUBLE_EQ(e.alpha_lat, 0.3);
+  EXPECT_DOUBLE_EQ(e.omega_lat, -0.2);
+
+  const RewardParams l = latency_opt_reward();
+  EXPECT_DOUBLE_EQ(l.alpha_lat, 0.6);
+  EXPECT_DOUBLE_EQ(l.omega_lat, -0.4);
+  EXPECT_DOUBLE_EQ(l.alpha_eer, 0.3);
+  EXPECT_DOUBLE_EQ(l.omega_eer, -0.3);
+}
+
+TEST(Reward, EnergyPresetPrioritisesEnergyImprovement) {
+  const RewardParams e = energy_opt_reward();
+  // Halving energy should raise the reward more than halving latency.
+  const double base = e.compute(result(0.95, 1.0, 8.0));
+  const double better_e = e.compute(result(0.95, 1.0, 4.0));
+  const double better_l = e.compute(result(0.95, 0.5, 8.0));
+  EXPECT_GT(better_e - base, better_l - base);
+}
+
+TEST(Reward, LatencyPresetPrioritisesLatencyImprovement) {
+  const RewardParams l = latency_opt_reward();
+  const double base = l.compute(result(0.95, 1.0, 8.0));
+  const double better_e = l.compute(result(0.95, 1.0, 4.0));
+  const double better_l = l.compute(result(0.95, 0.5, 8.0));
+  EXPECT_GT(better_l - base, better_e - base);
+}
+
+TEST(Reward, ToStringMentionsCoefficients) {
+  const std::string s = balanced_reward().to_string();
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+  EXPECT_NE(s.find("-0.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,182 @@
+#include "rl/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yoso {
+namespace {
+
+std::vector<int> toy_cards() { return {2, 3, 4, 6}; }
+
+TEST(ParamStore, AllocAndViews) {
+  ParamStore store;
+  Rng rng(1);
+  const ParamView a = store.alloc(10, rng, 0.5);
+  const ParamView b = store.alloc(5, rng);
+  EXPECT_EQ(store.size(), 15u);
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, 10u);
+  for (double v : store.value(a)) {
+    EXPECT_GE(v, -0.5);
+    EXPECT_LE(v, 0.5);
+  }
+}
+
+TEST(ParamStore, AdamStepMovesAgainstGradient) {
+  ParamStore store;
+  Rng rng(2);
+  const ParamView v = store.alloc(3, rng, 0.0);
+  store.grad(v)[0] = 1.0;
+  store.grad(v)[1] = -1.0;
+  store.adam_step(0.1);
+  EXPECT_LT(store.value(v)[0], 0.0);
+  EXPECT_GT(store.value(v)[1], 0.0);
+  EXPECT_DOUBLE_EQ(store.value(v)[2], 0.0);
+}
+
+TEST(ParamStore, GradNormAndScale) {
+  ParamStore store;
+  Rng rng(3);
+  const ParamView v = store.alloc(2, rng, 0.0);
+  store.grad(v)[0] = 3.0;
+  store.grad(v)[1] = 4.0;
+  EXPECT_DOUBLE_EQ(store.grad_norm(), 5.0);
+  store.scale_grad(0.5);
+  EXPECT_DOUBLE_EQ(store.grad_norm(), 2.5);
+  store.zero_grad();
+  EXPECT_DOUBLE_EQ(store.grad_norm(), 0.0);
+}
+
+TEST(Controller, RejectsBadActionSpaces) {
+  EXPECT_THROW(LstmController({}, {}), std::invalid_argument);
+  EXPECT_THROW(LstmController({2, 0}, {}), std::invalid_argument);
+}
+
+TEST(Controller, SampleRespectsCardinalities) {
+  LstmController ctrl(toy_cards(), {});
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Episode ep = ctrl.sample(rng);
+    ASSERT_EQ(ep.actions.size(), 4u);
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_GE(ep.actions[t], 0);
+      EXPECT_LT(ep.actions[t], toy_cards()[t]);
+    }
+  }
+}
+
+TEST(Controller, LogProbNegativeEntropyPositive) {
+  LstmController ctrl(toy_cards(), {});
+  Rng rng(5);
+  const Episode ep = ctrl.sample(rng);
+  EXPECT_LT(ep.log_prob, 0.0);
+  EXPECT_GT(ep.entropy, 0.0);
+  // Entropy can't exceed sum of log cardinalities.
+  double max_ent = 0.0;
+  for (int c : toy_cards()) max_ent += std::log(c);
+  EXPECT_LE(ep.entropy, max_ent + 1e-9);
+}
+
+TEST(Controller, ProbabilitiesNormalised) {
+  LstmController ctrl(toy_cards(), {});
+  Rng rng(6);
+  const Episode ep = ctrl.sample(rng);
+  for (const auto& p : ep.probs) {
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Controller, TanhConstantBoundsLogits) {
+  // With squashing z in [-C, C], any softmax probability is bounded away
+  // from 0 by e^{-2C} / card.
+  ControllerOptions opt;
+  opt.tanh_constant = 2.5;
+  LstmController ctrl(toy_cards(), opt);
+  Rng rng(7);
+  const Episode ep = ctrl.sample(rng);
+  const double floor = std::exp(-2.0 * 2.5) / 6.0;
+  for (const auto& p : ep.probs)
+    for (double v : p) EXPECT_GE(v, floor * 0.99);
+}
+
+TEST(Controller, ArgmaxDeterministic) {
+  LstmController ctrl(toy_cards(), {});
+  const auto a1 = ctrl.argmax_actions();
+  const auto a2 = ctrl.argmax_actions();
+  EXPECT_EQ(a1, a2);
+  ASSERT_EQ(a1.size(), 4u);
+}
+
+TEST(Controller, SameSeedSameBehaviour) {
+  ControllerOptions opt;
+  opt.seed = 77;
+  LstmController a(toy_cards(), opt);
+  LstmController b(toy_cards(), opt);
+  Rng ra(8), rb(8);
+  const Episode ea = a.sample(ra);
+  const Episode eb = b.sample(rb);
+  EXPECT_EQ(ea.actions, eb.actions);
+  EXPECT_DOUBLE_EQ(ea.log_prob, eb.log_prob);
+}
+
+TEST(Controller, GradientAccumulationThenUpdateChangesPolicy) {
+  LstmController ctrl(toy_cards(), {});
+  Rng rng(9);
+  const auto before = ctrl.argmax_actions();
+  // Strongly reinforce a specific episode many times.
+  for (int i = 0; i < 50; ++i) {
+    const Episode ep = ctrl.sample(rng);
+    const double reward = ep.actions[0] == 1 ? 1.0 : -1.0;
+    ctrl.accumulate_gradient(ep, reward, 0.0);
+    ctrl.update(0.05);
+  }
+  // Policy should now prefer action 1 at step 0.
+  int hits = 0;
+  for (int i = 0; i < 100; ++i)
+    hits += ctrl.sample(rng).actions[0] == 1 ? 1 : 0;
+  EXPECT_GT(hits, 70);
+  (void)before;
+}
+
+TEST(Controller, UpdateZeroesGradients) {
+  LstmController ctrl(toy_cards(), {});
+  Rng rng(10);
+  const Episode ep = ctrl.sample(rng);
+  ctrl.accumulate_gradient(ep, 1.0, 1e-4);
+  ctrl.update(0.01);
+  // A second update with no accumulation must be a no-op on the params.
+  const auto a1 = ctrl.argmax_actions();
+  ctrl.update(0.01);
+  EXPECT_EQ(ctrl.argmax_actions(), a1);
+}
+
+TEST(Controller, ParamCountScalesWithSpace) {
+  LstmController small({2, 2}, {});
+  LstmController large(std::vector<int>(44, 6), {});
+  EXPECT_GT(large.param_count(), small.param_count());
+  EXPECT_GT(small.param_count(), 0u);
+}
+
+class HiddenSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HiddenSizeSweep, SamplesValidAtAnyWidth) {
+  ControllerOptions opt;
+  opt.hidden_size = GetParam();
+  LstmController ctrl(toy_cards(), opt);
+  Rng rng(11);
+  const Episode ep = ctrl.sample(rng);
+  EXPECT_EQ(ep.actions.size(), 4u);
+  EXPECT_TRUE(std::isfinite(ep.log_prob));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HiddenSizeSweep,
+                         ::testing::Values(8, 32, 120));
+
+}  // namespace
+}  // namespace yoso

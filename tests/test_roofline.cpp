@@ -1,0 +1,92 @@
+#include "accel/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/zoo.h"
+
+namespace yoso {
+namespace {
+
+AcceleratorConfig config() {
+  return AcceleratorConfig{16, 32, 512, 512, Dataflow::kOutputStationary};
+}
+
+TEST(Roofline, PeakAndBalance) {
+  const TechnologyParams tech;
+  const auto layers =
+      extract_layers(reference_model("Darts_v2").genotype, default_skeleton());
+  const auto s = roofline_analysis(layers, config(), tech);
+  EXPECT_DOUBLE_EQ(s.peak_gmacs, 512 * tech.clock_ghz);
+  EXPECT_NEAR(s.balance_intensity,
+              s.peak_gmacs / (tech.dram_bytes_per_cycle * tech.clock_ghz),
+              1e-12);
+}
+
+TEST(Roofline, SkipsPoolsCoversWeightLayers) {
+  const auto layers =
+      extract_layers(reference_model("PnasNet").genotype, default_skeleton());
+  const auto s = roofline_analysis(layers, config());
+  std::size_t weight_layers = 0;
+  for (const auto& l : layers)
+    if (l.macs() > 0) ++weight_layers;
+  EXPECT_EQ(s.layers.size(), weight_layers);
+}
+
+TEST(Roofline, AchievedNeverExceedsAttainableMuch) {
+  const auto layers =
+      extract_layers(reference_model("EnasNet").genotype, default_skeleton());
+  const auto s = roofline_analysis(layers, config());
+  for (const auto& p : s.layers) {
+    EXPECT_GT(p.attainable_gmacs, 0.0) << p.layer_name;
+    // Small slack: the fill-overhead subtraction can push achieved slightly
+    // around the bound on tiny layers, but never grossly above it.
+    EXPECT_LE(p.achieved_gmacs, p.attainable_gmacs * 1.05) << p.layer_name;
+  }
+  EXPECT_GT(s.mean_efficiency, 0.1);
+  EXPECT_LE(s.mean_efficiency, 1.05);
+}
+
+TEST(Roofline, MemoryBoundFlagConsistent) {
+  const auto layers =
+      extract_layers(reference_model("Darts_v1").genotype, default_skeleton());
+  const auto s = roofline_analysis(layers, config());
+  std::size_t flagged = 0;
+  for (const auto& p : s.layers) {
+    EXPECT_EQ(p.memory_bound, p.intensity < s.balance_intensity);
+    flagged += p.memory_bound ? 1 : 0;
+  }
+  EXPECT_EQ(flagged, s.memory_bound_layers);
+}
+
+TEST(Roofline, FcLayerIsMemoryBound) {
+  // A classifier layer reads each weight once: far below machine balance.
+  Layer fc;
+  fc.kind = LayerKind::kFullyConnected;
+  fc.in_h = 1;
+  fc.in_w = 1;
+  fc.in_c = 2048;
+  fc.out_c = 10;
+  fc.kernel = 1;
+  fc.stride = 1;
+  const auto s = roofline_analysis({fc}, config());
+  ASSERT_EQ(s.layers.size(), 1u);
+  EXPECT_TRUE(s.layers[0].memory_bound);
+  EXPECT_LT(s.layers[0].intensity, 2.0);
+}
+
+TEST(Roofline, BigConvIsComputeBound) {
+  Layer conv;
+  conv.kind = LayerKind::kConv;
+  conv.in_h = 32;
+  conv.in_w = 32;
+  conv.in_c = 96;
+  conv.out_c = 96;
+  conv.kernel = 3;
+  conv.stride = 1;
+  const auto s = roofline_analysis({conv}, config());
+  ASSERT_EQ(s.layers.size(), 1u);
+  EXPECT_FALSE(s.layers[0].memory_bound);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,94 @@
+#include "accel/rtl_export.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+AcceleratorConfig config() {
+  return AcceleratorConfig{16, 32, 512, 512, Dataflow::kOutputStationary};
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(RtlExport, ModulesAreBalanced) {
+  const std::string rtl = export_systolic_rtl(config());
+  EXPECT_EQ(count_occurrences(rtl, "\nmodule ") +
+                (rtl.rfind("module ", 0) == 0 ? 1 : 0),
+            count_occurrences(rtl, "endmodule"));
+  EXPECT_EQ(count_occurrences(rtl, "endmodule"), 3u);  // pe, gbuf, top
+}
+
+TEST(RtlExport, ParametersReflectConfig) {
+  const std::string rtl = export_systolic_rtl(config());
+  EXPECT_NE(rtl.find("parameter int PE_ROWS = 16"), std::string::npos);
+  EXPECT_NE(rtl.find("parameter int PE_COLS = 32"), std::string::npos);
+  // 512 KB at 16-bit words = 262144 words.
+  EXPECT_NE(rtl.find("parameter longint WORDS = 262144"), std::string::npos);
+  // 512 B register buffer at 16-bit words = 256 words.
+  EXPECT_NE(rtl.find("parameter int RBUF_WORDS = 256"), std::string::npos);
+}
+
+TEST(RtlExport, HeaderDocumentsConfigAndDataflow) {
+  const std::string rtl = export_systolic_rtl(config());
+  EXPECT_NE(rtl.find("16*32/512KB/512B/OS"), std::string::npos);
+  EXPECT_NE(rtl.find("output-stationary"), std::string::npos);
+}
+
+TEST(RtlExport, EachDataflowGetsItsComment) {
+  for (int d = 0; d < kNumDataflows; ++d) {
+    AcceleratorConfig c = config();
+    c.dataflow = static_cast<Dataflow>(d);
+    const std::string rtl = export_systolic_rtl(c);
+    EXPECT_NE(rtl.find("TODO(" + dataflow_name(c.dataflow) + ")"),
+              std::string::npos);
+  }
+}
+
+TEST(RtlExport, GenerateLoopsAndPeInstancePresent) {
+  const std::string rtl = export_systolic_rtl(config());
+  EXPECT_NE(rtl.find("for (genvar r = 0; r < PE_ROWS; r++)"),
+            std::string::npos);
+  EXPECT_NE(rtl.find("yoso_pe #("), std::string::npos);
+  EXPECT_NE(rtl.find("u_gbuf"), std::string::npos);
+}
+
+TEST(RtlExport, CustomPrefixAndWidths) {
+  RtlOptions opt;
+  opt.module_prefix = "edge";
+  opt.data_width = 8;
+  opt.accumulator_width = 24;
+  const std::string rtl = export_systolic_rtl(config(), opt);
+  EXPECT_EQ(rtl_top_module_name(opt), "edge_systolic_top");
+  EXPECT_NE(rtl.find("module edge_systolic_top"), std::string::npos);
+  EXPECT_NE(rtl.find("module edge_pe"), std::string::npos);
+  EXPECT_NE(rtl.find("DATA_W = 8"), std::string::npos);
+  EXPECT_NE(rtl.find("ACC_W  = 24"), std::string::npos);
+  // 512 KB at 8-bit words = 524288 words.
+  EXPECT_NE(rtl.find("WORDS = 524288"), std::string::npos);
+}
+
+TEST(RtlExport, BeginEndBlocksBalanced) {
+  const std::string rtl = export_systolic_rtl(config());
+  // `begin` ... `end` balance (endmodule excluded by the trailing space /
+  // newline patterns used here).
+  const std::size_t begins = count_occurrences(rtl, "begin");
+  std::size_t ends = 0;
+  for (std::size_t pos = 0; (pos = rtl.find("end", pos)) != std::string::npos;
+       pos += 3) {
+    // count "end" not followed by "module"
+    if (rtl.compare(pos, 9, "endmodule") != 0) ++ends;
+  }
+  EXPECT_EQ(begins, ends);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,167 @@
+#include "core/search.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    space_ = new DesignSpace();
+    skeleton_ = new NetworkSkeleton(default_skeleton());
+    SystolicSimulator sim({}, SimFidelity::kAnalytical);
+    fast_ = new FastEvaluator(*space_, *skeleton_, sim,
+                              {.predictor_samples = 150, .seed = 9});
+    accurate_ = new AccurateEvaluator(
+        *skeleton_, SystolicSimulator({}, SimFidelity::kAnalytical));
+  }
+  static void TearDownTestSuite() {
+    delete accurate_;
+    delete fast_;
+    delete skeleton_;
+    delete space_;
+  }
+
+  static SearchOptions small_options(std::size_t iters) {
+    SearchOptions opt;
+    opt.iterations = iters;
+    opt.top_n = 5;
+    opt.trace_every = 10;
+    opt.reward = balanced_reward();
+    opt.seed = 13;
+    return opt;
+  }
+
+  static DesignSpace* space_;
+  static NetworkSkeleton* skeleton_;
+  static FastEvaluator* fast_;
+  static AccurateEvaluator* accurate_;
+};
+
+DesignSpace* SearchTest::space_ = nullptr;
+NetworkSkeleton* SearchTest::skeleton_ = nullptr;
+FastEvaluator* SearchTest::fast_ = nullptr;
+AccurateEvaluator* SearchTest::accurate_ = nullptr;
+
+TEST_F(SearchTest, ProducesTraceFinalistsAndBest) {
+  YosoSearch search(*space_, small_options(120));
+  const SearchResult r = search.run(*fast_, accurate_);
+  EXPECT_EQ(r.iterations_run, 120u);
+  EXPECT_EQ(r.trace.size(), 12u);  // every 10th
+  EXPECT_FALSE(r.finalists.empty());
+  EXPECT_LE(r.finalists.size(), 5u);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GT(r.best_fast_reward, 0.0);
+}
+
+TEST_F(SearchTest, TraceIterationsAscend) {
+  YosoSearch search(*space_, small_options(100));
+  const SearchResult r = search.run(*fast_, nullptr);
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_LT(r.trace[i - 1].iteration, r.trace[i].iteration);
+}
+
+TEST_F(SearchTest, FinalistsSortedByAccurateReward) {
+  YosoSearch search(*space_, small_options(150));
+  const SearchResult r = search.run(*fast_, accurate_);
+  for (std::size_t i = 1; i < r.finalists.size(); ++i)
+    EXPECT_GE(r.finalists[i - 1].accurate_reward,
+              r.finalists[i].accurate_reward);
+}
+
+TEST_F(SearchTest, FinalistsAreDistinct) {
+  YosoSearch search(*space_, small_options(200));
+  const SearchResult r = search.run(*fast_, nullptr);
+  for (std::size_t i = 0; i < r.finalists.size(); ++i)
+    for (std::size_t j = i + 1; j < r.finalists.size(); ++j)
+      EXPECT_FALSE(r.finalists[i].candidate == r.finalists[j].candidate);
+}
+
+TEST_F(SearchTest, BestIsFeasibleWhenAnyFinalistIs) {
+  YosoSearch search(*space_, small_options(200));
+  const SearchResult r = search.run(*fast_, accurate_);
+  ASSERT_TRUE(r.best.has_value());
+  bool any_feasible = false;
+  for (const auto& f : r.finalists) any_feasible |= f.feasible;
+  if (any_feasible) {
+    EXPECT_TRUE(r.best->feasible);
+  }
+}
+
+TEST_F(SearchTest, WithoutAccurateEvaluatorKeepsFastScores) {
+  YosoSearch search(*space_, small_options(80));
+  const SearchResult r = search.run(*fast_, nullptr);
+  for (const auto& f : r.finalists) {
+    EXPECT_DOUBLE_EQ(f.accurate_result.energy_mj, f.fast_result.energy_mj);
+    EXPECT_DOUBLE_EQ(f.accurate_reward,
+                     small_options(1).reward.compute(f.fast_result));
+  }
+}
+
+TEST_F(SearchTest, DeterministicForSameSeed) {
+  YosoSearch s1(*space_, small_options(60));
+  YosoSearch s2(*space_, small_options(60));
+  const SearchResult r1 = s1.run(*fast_, nullptr);
+  const SearchResult r2 = s2.run(*fast_, nullptr);
+  EXPECT_DOUBLE_EQ(r1.best_fast_reward, r2.best_fast_reward);
+  ASSERT_EQ(r1.trace.size(), r2.trace.size());
+  for (std::size_t i = 0; i < r1.trace.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.trace[i].reward, r2.trace[i].reward);
+}
+
+TEST_F(SearchTest, RandomSearchDriverSameInterface) {
+  RandomSearchDriver driver(*space_, small_options(100));
+  const SearchResult r = driver.run(*fast_, accurate_);
+  EXPECT_EQ(r.iterations_run, 100u);
+  EXPECT_FALSE(r.finalists.empty());
+  ASSERT_TRUE(r.best.has_value());
+}
+
+TEST_F(SearchTest, RlBeatsRandomOnLateRewards) {
+  // The Fig-6(a) property at miniature scale: with the same budget the RL
+  // searcher's late-phase rewards exceed random search's.
+  SearchOptions opt = small_options(800);
+  opt.trace_every = 5;
+  YosoSearch rl(*space_, opt);
+  RandomSearchDriver random(*space_, opt);
+  const SearchResult rr = rl.run(*fast_, nullptr);
+  const SearchResult rd = random.run(*fast_, nullptr);
+  auto tail_mean = [](const SearchResult& r) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = r.trace.size() * 3 / 4; i < r.trace.size(); ++i) {
+      acc += r.trace[i].reward;
+      ++n;
+    }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_GT(tail_mean(rr), tail_mean(rd));
+}
+
+TEST(RerankFinalists, OrdersAndMarksFeasibility) {
+  SearchResult r;
+  RankedCandidate a, b;
+  a.fast_reward = 1.0;
+  a.fast_result = {0.9, 0.5, 4.0};  // feasible
+  b.fast_reward = 2.0;
+  b.fast_result = {0.9, 5.0, 40.0};  // infeasible but higher fast reward
+  r.finalists = {b, a};
+  rerank_finalists(r, balanced_reward(), nullptr);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_TRUE(r.best->feasible);
+  EXPECT_DOUBLE_EQ(r.best->fast_result.latency_ms, 0.5);
+}
+
+TEST(RerankFinalists, FallsBackWhenNothingFeasible) {
+  SearchResult r;
+  RankedCandidate a;
+  a.fast_result = {0.9, 5.0, 40.0};
+  r.finalists = {a};
+  rerank_finalists(r, balanced_reward(), nullptr);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_FALSE(r.best->feasible);
+}
+
+}  // namespace
+}  // namespace yoso

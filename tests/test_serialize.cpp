@@ -1,0 +1,110 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace yoso {
+namespace {
+
+TEST(Serialize, CellRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const CellGenotype cell = random_cell(rng);
+    EXPECT_EQ(parse_cell(serialize_cell(cell)), cell);
+  }
+}
+
+TEST(Serialize, GenotypeRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Genotype g = random_genotype(rng);
+    EXPECT_EQ(parse_genotype(serialize_genotype(g)), g);
+  }
+}
+
+TEST(Serialize, GenotypeFormatIsStable) {
+  Genotype g;
+  for (int n = 0; n < kInteriorNodes; ++n) {
+    g.normal.nodes.push_back({0, 1, Op::kConv3x3, Op::kMaxPool3x3});
+    g.reduction.nodes.push_back({n, n + 1, Op::kDwConv5x5, Op::kAvgPool3x3});
+  }
+  const std::string s = serialize_genotype(g);
+  EXPECT_EQ(s.rfind("normal=0,1,conv3x3,maxpool3x3;", 0), 0u);
+  EXPECT_NE(s.find("|reduction=0,1,dwconv5x5,avgpool3x3;"), std::string::npos);
+}
+
+TEST(Serialize, ParseCellRejectsMalformed) {
+  EXPECT_THROW(parse_cell(""), std::invalid_argument);
+  EXPECT_THROW(parse_cell("0,1,conv3x3"), std::invalid_argument);
+  EXPECT_THROW(parse_cell("0,1,conv3x3,notanop;0,1,conv3x3,conv3x3"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cell("x,1,conv3x3,conv3x3"), std::invalid_argument);
+}
+
+TEST(Serialize, ParseCellRejectsInvalidStructure) {
+  // Right syntax, wrong node count.
+  EXPECT_THROW(parse_cell("0,1,conv3x3,conv3x3"), std::invalid_argument);
+  // Forward reference in an otherwise complete cell.
+  std::string text;
+  for (int n = 0; n < kInteriorNodes; ++n) {
+    if (n > 0) text += ";";
+    text += "0,6,conv3x3,conv3x3";  // node 2 cannot read node 6
+  }
+  EXPECT_THROW(parse_cell(text), std::invalid_argument);
+}
+
+TEST(Serialize, ParseGenotypeRejectsMissingParts) {
+  EXPECT_THROW(parse_genotype("normal=0,1,conv3x3,conv3x3"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_genotype("foo=x|reduction=y"), std::invalid_argument);
+}
+
+TEST(Serialize, ConfigRoundTrip) {
+  const ConfigSpace space = default_config_space();
+  for (const AcceleratorConfig& c : space.enumerate())
+    EXPECT_EQ(parse_accelerator_config(c.to_string()), c);
+}
+
+TEST(Serialize, ConfigParsesPaperNotation) {
+  const AcceleratorConfig c = parse_accelerator_config("16*32/512KB/512B/OS");
+  EXPECT_EQ(c.pe_rows, 16);
+  EXPECT_EQ(c.pe_cols, 32);
+  EXPECT_EQ(c.g_buf_kb, 512);
+  EXPECT_EQ(c.r_buf_bytes, 512);
+  EXPECT_EQ(c.dataflow, Dataflow::kOutputStationary);
+}
+
+TEST(Serialize, ConfigAcceptsLowercaseUnits) {
+  const AcceleratorConfig c = parse_accelerator_config("8*8/108kb/64b/NLR");
+  EXPECT_EQ(c.g_buf_kb, 108);
+  EXPECT_EQ(c.r_buf_bytes, 64);
+}
+
+TEST(Serialize, ConfigRejectsMalformed) {
+  EXPECT_THROW(parse_accelerator_config(""), std::invalid_argument);
+  EXPECT_THROW(parse_accelerator_config("16x32/512KB/512B/OS"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_accelerator_config("16*32/512/512B/OS"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_accelerator_config("16*32/512KB/512B/XX"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_accelerator_config("16*32/512KB/512B"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_accelerator_config("-4*32/512KB/512B/OS"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, CandidateRoundTrip) {
+  DesignSpace space;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const CandidateDesign c = space.random_candidate(rng);
+    EXPECT_EQ(parse_candidate(serialize_candidate(c)), c);
+  }
+}
+
+TEST(Serialize, CandidateRejectsMissingSeparator) {
+  EXPECT_THROW(parse_candidate("no-at-sign-here"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,112 @@
+// Cross-configuration property sweeps of the accelerator model: invariants
+// that must hold at every point of the configuration space, not just the
+// handful of configs unit tests pin down.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "accel/simulator.h"
+#include "arch/zoo.h"
+
+namespace yoso {
+namespace {
+
+using ConfigParam = std::tuple<int, int, int, int, int>;  // r, c, gbuf, rbuf, df
+
+class ConfigSweep : public ::testing::TestWithParam<ConfigParam> {
+ protected:
+  static void SetUpTestSuite() {
+    layers_ = new std::vector<Layer>(extract_layers(
+        reference_model("Darts_v1").genotype, default_skeleton()));
+  }
+  static void TearDownTestSuite() {
+    delete layers_;
+    layers_ = nullptr;
+  }
+  AcceleratorConfig config() const {
+    const auto [r, c, g, rb, d] = GetParam();
+    return AcceleratorConfig{r, c, g, rb, static_cast<Dataflow>(d)};
+  }
+  static std::vector<Layer>* layers_;
+};
+
+std::vector<Layer>* ConfigSweep::layers_ = nullptr;
+
+TEST_P(ConfigSweep, EnergyBreakdownConsistent) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto res = sim.simulate(*layers_, config());
+  EXPECT_TRUE(std::isfinite(res.energy_mj));
+  EXPECT_GT(res.energy_mj, 0.0);
+  EXPECT_NEAR(res.energy_mj,
+              res.dram_mj + res.gbuf_mj + res.rbuf_mj + res.mac_mj +
+                  res.static_mj,
+              1e-9);
+  // Every byte that reaches DRAM transits the global buffer, so gbuf
+  // energy per byte being lower never inverts the traffic ordering.
+  EXPECT_GE(res.gbuf_mj / sim.tech().gbuf_energy_per_byte(config().g_buf_kb),
+            res.dram_mj / sim.tech().e_dram_pj_per_byte - 1e-6);
+}
+
+TEST_P(ConfigSweep, CycleLevelWithinAnalyticalBand) {
+  SystolicSimulator fast({}, SimFidelity::kAnalytical);
+  SystolicSimulator slow({}, SimFidelity::kCycleLevel);
+  const auto ra = fast.simulate(*layers_, config());
+  const auto rc = slow.simulate(*layers_, config());
+  EXPECT_GT(rc.latency_ms, ra.latency_ms * 0.4);
+  EXPECT_LT(rc.latency_ms, ra.latency_ms * 2.5);
+}
+
+TEST_P(ConfigSweep, BatchEightNeverWorsePerImage) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto b1 = sim.simulate(*layers_, config(), 1);
+  const auto b8 = sim.simulate(*layers_, config(), 8);
+  EXPECT_LE(b8.energy_mj, b1.energy_mj + 1e-9);
+  EXPECT_LE(b8.latency_ms, b1.latency_ms + 1e-9);
+}
+
+TEST_P(ConfigSweep, UtilizationAndCyclesSane) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const auto res = sim.simulate(*layers_, config());
+  EXPECT_GT(res.mean_utilization, 0.0);
+  EXPECT_LE(res.mean_utilization, 1.0);
+  double macs = 0.0;
+  for (const auto& lr : res.layers) macs += lr.mapping.macs;
+  // Total cycles can never beat the absolute peak of the array.
+  EXPECT_GE(res.total_cycles, macs / config().num_pes() * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigSweep,
+    ::testing::Combine(::testing::Values(8, 16),          // rows
+                       ::testing::Values(8, 32),          // cols
+                       ::testing::Values(108, 512),       // gbuf KB
+                       ::testing::Values(64, 512),        // rbuf B
+                       ::testing::Values(0, 1, 2, 3)));   // dataflow
+
+class ZooModelSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooModelSweep, SimulationScalesWithModelSize) {
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const AcceleratorConfig cfg{16, 32, 512, 512,
+                              Dataflow::kOutputStationary};
+  const auto& model = reference_model(GetParam());
+  const auto layers = extract_layers(model.genotype, default_skeleton());
+  const auto stats = network_stats(layers);
+  const auto res = sim.simulate(layers, cfg);
+  // Energy per MAC must land in a plausible narrow band (pJ/MAC) — a gross
+  // regression in either the MAC counting or the energy model breaks this.
+  const double pj_per_mac =
+      res.energy_mj * 1e9 / static_cast<double>(stats.total_macs);
+  EXPECT_GT(pj_per_mac, 5.0) << GetParam();
+  EXPECT_LT(pj_per_mac, 120.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelSweep,
+                         ::testing::Values("NasNet-A", "Darts_v1", "Darts_v2",
+                                           "AmoebaNet-A", "EnasNet",
+                                           "PnasNet"));
+
+}  // namespace
+}  // namespace yoso

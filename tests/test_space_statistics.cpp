@@ -1,0 +1,119 @@
+// Statistical properties of the joint design space under uniform sampling —
+// the distribution the HyperNet trains against (Eq. 6) and the random-search
+// baseline draws from.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/design_space.h"
+#include "surrogate/accuracy_model.h"
+
+namespace yoso {
+namespace {
+
+TEST(SpaceStatistics, OpsUniformUnderRandomSampling) {
+  Rng rng(11);
+  std::map<Op, int> counts;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const Genotype g = random_genotype(rng);
+    for (const CellGenotype* cell : {&g.normal, &g.reduction})
+      for (const NodeSpec& s : cell->nodes) {
+        ++counts[s.op_a];
+        ++counts[s.op_b];
+      }
+  }
+  const double expected = n * 20.0 / kNumOps;
+  for (Op op : all_ops())
+    EXPECT_NEAR(counts[op], expected, expected * 0.1) << op_name(op);
+}
+
+TEST(SpaceStatistics, InputChoicesUniformPerNode) {
+  Rng rng(13);
+  // Node 6 (last interior) picks inputs uniformly over its 6 predecessors.
+  std::map<int, int> counts;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    const Genotype g = random_genotype(rng);
+    ++counts[g.normal.nodes.back().input_a];
+  }
+  for (int input = 0; input < 6; ++input)
+    EXPECT_NEAR(counts[input], n / 6, n / 6 / 4) << "input " << input;
+}
+
+TEST(SpaceStatistics, LooseEndDistributionReasonable) {
+  Rng rng(17);
+  double total = 0.0;
+  int min_loose = 99, max_loose = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto loose =
+        static_cast<int>(loose_end_nodes(random_cell(rng)).size());
+    total += loose;
+    min_loose = std::min(min_loose, loose);
+    max_loose = std::max(max_loose, loose);
+  }
+  // With 5 interior nodes the mean loose-end count sits between 2 and 3.
+  EXPECT_GT(total / n, 1.8);
+  EXPECT_LT(total / n, 3.2);
+  EXPECT_GE(min_loose, 1);
+  EXPECT_LE(max_loose, 5);
+}
+
+TEST(SpaceStatistics, MacRangeSpansAnOrderOfMagnitude) {
+  Rng rng(19);
+  const NetworkSkeleton skeleton = default_skeleton();
+  std::int64_t lo = INT64_MAX, hi = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto stats =
+        network_stats(extract_layers(random_genotype(rng), skeleton));
+    lo = std::min(lo, stats.total_macs);
+    hi = std::max(hi, stats.total_macs);
+  }
+  EXPECT_GT(static_cast<double>(hi) / static_cast<double>(lo), 5.0);
+  EXPECT_GT(lo, 1'000'000);       // even pool-heavy nets move real data
+  EXPECT_LT(hi, 1'000'000'000);   // and nothing explodes
+}
+
+TEST(SpaceStatistics, SurrogateErrorDistributionShaped) {
+  // Error distribution of uniform random genotypes: unimodal-ish with a
+  // long right tail (bad architectures exist, excellent ones are rare).
+  AccuracyModel model;
+  Rng rng(23);
+  int below_3 = 0, above_45 = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const double err = model.test_error(random_genotype(rng));
+    below_3 += err < 3.0 ? 1 : 0;
+    above_45 += err > 4.5 ? 1 : 0;
+  }
+  EXPECT_GT(below_3, n / 50);   // good nets are findable
+  EXPECT_LT(below_3, n / 2);    // but not the majority
+  EXPECT_GT(above_45, n / 100); // and the tail of bad nets exists
+}
+
+TEST(SpaceStatistics, ExtremeActionVectorsDecode) {
+  DesignSpace space;
+  const auto cards = space.cardinalities();
+  std::vector<int> zeros(cards.size(), 0), maxed(cards.size());
+  for (std::size_t i = 0; i < cards.size(); ++i) maxed[i] = cards[i] - 1;
+  EXPECT_NO_THROW(space.decode(zeros));
+  EXPECT_NO_THROW(space.decode(maxed));
+  EXPECT_FALSE(space.decode(zeros) == space.decode(maxed));
+}
+
+TEST(SpaceStatistics, HardwareActionsUniform) {
+  DesignSpace space;
+  Rng rng(29);
+  std::map<std::string, int> dataflows;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    ++dataflows[dataflow_name(space.random_candidate(rng).config.dataflow)];
+  for (const auto& [name, count] : dataflows)
+    EXPECT_NEAR(count, n / 4, n / 4 / 4) << name;
+  EXPECT_EQ(dataflows.size(), 4u);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,151 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace yoso {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(min_value(empty), std::invalid_argument);
+  EXPECT_THROW(max_value(empty), std::invalid_argument);
+}
+
+TEST(Stats, MseAndRmse) {
+  const std::vector<double> p = {1.0, 2.0, 3.0};
+  const std::vector<double> t = {1.0, 4.0, 3.0};
+  EXPECT_NEAR(mse(p, t), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rmse(p, t), std::sqrt(4.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MseSizeMismatchThrows) {
+  const std::vector<double> p = {1.0};
+  const std::vector<double> t = {1.0, 2.0};
+  EXPECT_THROW(mse(p, t), std::invalid_argument);
+}
+
+TEST(Stats, MeanRelativeErrorSkipsZeroTruth) {
+  const std::vector<double> p = {2.0, 5.0};
+  const std::vector<double> t = {4.0, 0.0};
+  EXPECT_NEAR(mean_relative_error(p, t), 0.5, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateReturnsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {1.0, 8.0, 27.0, 64.0, 125.0};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, RankWithTiesAverages) {
+  const std::vector<double> x = {10.0, 20.0, 20.0, 30.0};
+  const auto r = rank_with_ties(x);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, KendallTauPerfect) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(kendall_tau(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, KendallTauReversed) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(kendall_tau(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStat rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    xs.push_back(v);
+    rs.add(v);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+TEST(Stats, MovingAverageInitAndDecay) {
+  MovingAverage ma(0.9);
+  EXPECT_TRUE(ma.empty());
+  ma.add(10.0);
+  EXPECT_FALSE(ma.empty());
+  EXPECT_DOUBLE_EQ(ma.value(), 10.0);
+  ma.add(0.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 9.0);
+}
+
+TEST(Stats, MovingAverageConvergesToConstant) {
+  MovingAverage ma(0.5);
+  for (int i = 0; i < 60; ++i) ma.add(4.0);
+  EXPECT_NEAR(ma.value(), 4.0, 1e-9);
+}
+
+class CorrelationNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationNoiseSweep, PearsonDecreasesWithNoise) {
+  const double sigma = GetParam();
+  Rng rng(77);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    x.push_back(v);
+    y.push_back(v + rng.normal(0.0, sigma));
+  }
+  const double r = pearson(x, y);
+  // With signal std ~2.9, these bounds are loose but order-preserving.
+  if (sigma <= 0.1) {
+    EXPECT_GT(r, 0.99);
+  }
+  if (sigma >= 10.0) {
+    EXPECT_LT(r, 0.6);
+  }
+  EXPECT_GT(r, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, CorrelationNoiseSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace yoso

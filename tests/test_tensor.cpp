@@ -1,0 +1,81 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yoso {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.numel(), 120u);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.shape_string(), "(2,3,4,5)");
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, NonPositiveDimensionThrows) {
+  EXPECT_THROW(Tensor({2, 0, 3}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({2, 2}, 3.0f);
+  EXPECT_FLOAT_EQ(t[0], 3.0f);
+  t.zero();
+  EXPECT_FLOAT_EQ(t[3], 0.0f);
+}
+
+TEST(Tensor, NchwIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119 (last element).
+  EXPECT_FLOAT_EQ(t[119], 7.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+}
+
+TEST(Tensor, TwoDimIndexing) {
+  Tensor t({3, 4});
+  t.at2(2, 1) = 5.0f;
+  EXPECT_FLOAT_EQ(t[9], 5.0f);
+}
+
+TEST(Tensor, ZerosLike) {
+  Tensor t({2, 3}, 1.0f);
+  const Tensor z = Tensor::zeros_like(t);
+  EXPECT_EQ(z.shape(), t.shape());
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+}
+
+TEST(Tensor, HeInitStatistics) {
+  Rng rng(5);
+  Tensor t({64, 64});
+  t.he_init(rng, 32);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 2.0 / 32.0, 0.01);  // He variance 2/fan_in
+}
+
+TEST(Tensor, SumSquares) {
+  Tensor t({2, 2});
+  t[0] = 1.0f;
+  t[1] = 2.0f;
+  t[2] = -3.0f;
+  EXPECT_DOUBLE_EQ(t.sum_squares(), 14.0);
+}
+
+}  // namespace
+}  // namespace yoso

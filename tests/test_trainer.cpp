@@ -1,0 +1,119 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yoso {
+namespace {
+
+TEST(PathSamplers, UniformProducesValidGenotypes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(validate_genotype(uniform_path_sampler(rng)));
+}
+
+TEST(PathSamplers, BiasedProducesValidButSkewedGenotypes) {
+  Rng rng(2);
+  int low_input = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Genotype g = biased_path_sampler(rng);
+    EXPECT_TRUE(validate_genotype(g));
+    for (const NodeSpec& s : g.normal.nodes) {
+      low_input += s.input_a == 0 ? 1 : 0;
+      ++total;
+    }
+  }
+  // A uniform sampler would pick input 0 with prob mean(1/2..1/6) ~ 0.29;
+  // the biased one must exceed that clearly.
+  EXPECT_GT(static_cast<double>(low_input) / total, 0.35);
+}
+
+TEST(Trainer, StandaloneLearnsTinyTask) {
+  SynthCifar task(10, 10, 7);
+  const Dataset train = task.generate(16, 1);
+  const Dataset val = task.generate(6, 2);
+  Rng rng(3);
+  const Genotype g = random_genotype(rng);
+  PathNetwork net(tiny_skeleton(10, 6), 5);
+  TrainOptions opt;
+  opt.epochs = 4;
+  opt.batch_size = 20;
+  const auto logs = train_standalone(net, g, train, val, opt, rng);
+  ASSERT_EQ(logs.size(), 4u);
+  EXPECT_LT(logs.back().train_loss, logs.front().train_loss);
+  EXPECT_GT(logs.back().val_accuracy, 0.15);  // well above 10% chance
+  for (const auto& l : logs) {
+    EXPECT_GE(l.val_accuracy, 0.0);
+    EXPECT_LE(l.val_accuracy, 1.0);
+  }
+}
+
+TEST(Trainer, HypernetTrainsWithUniformSampling) {
+  SynthCifar task(8, 10, 11);
+  const Dataset train = task.generate(8, 1);
+  const Dataset val = task.generate(4, 2);
+  Rng rng(4);
+  PathNetwork net(tiny_skeleton(8, 4), 9);
+  TrainOptions opt;
+  opt.epochs = 2;
+  opt.batch_size = 20;
+  const auto logs = train_hypernet(net, train, val, opt, rng);
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_TRUE(std::isfinite(logs.back().train_loss));
+  // Training touched many paths, so the bank must hold more params than a
+  // single path would create.
+  EXPECT_GT(net.param_count(), 2000u);
+}
+
+TEST(Trainer, HypernetAcceptsCustomSampler) {
+  SynthCifar task(8, 10, 13);
+  const Dataset train = task.generate(6, 1);
+  const Dataset val = task.generate(3, 2);
+  Rng rng(5);
+  PathNetwork net(tiny_skeleton(8, 4), 9);
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.batch_size = 20;
+  const auto logs =
+      train_hypernet(net, train, val, opt, rng, biased_path_sampler);
+  EXPECT_EQ(logs.size(), 1u);
+}
+
+TEST(Trainer, RejectsBadInputs) {
+  SynthCifar task(8, 10, 17);
+  const Dataset train = task.generate(4, 1);
+  const Dataset empty;
+  Rng rng(6);
+  PathNetwork net(tiny_skeleton(8, 4), 9);
+  const Genotype g = random_genotype(rng);
+  TrainOptions opt;
+  EXPECT_THROW(train_standalone(net, g, empty, train, opt, rng),
+               std::invalid_argument);
+  opt.epochs = 0;
+  EXPECT_THROW(train_standalone(net, g, train, train, opt, rng),
+               std::invalid_argument);
+}
+
+TEST(Trainer, DeterministicWithSameSeeds) {
+  SynthCifar task(8, 10, 19);
+  const Dataset train = task.generate(6, 1);
+  const Dataset val = task.generate(3, 2);
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.batch_size = 15;
+  Rng rng_g(7);
+  const Genotype g = random_genotype(rng_g);
+
+  PathNetwork net1(tiny_skeleton(8, 4), 33);
+  Rng rng1(8);
+  const auto logs1 = train_standalone(net1, g, train, val, opt, rng1);
+  PathNetwork net2(tiny_skeleton(8, 4), 33);
+  Rng rng2(8);
+  const auto logs2 = train_standalone(net2, g, train, val, opt, rng2);
+  EXPECT_DOUBLE_EQ(logs1[0].train_loss, logs2[0].train_loss);
+  EXPECT_DOUBLE_EQ(logs1[0].val_accuracy, logs2[0].val_accuracy);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,70 @@
+#include "arch/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/network.h"
+
+namespace yoso {
+namespace {
+
+TEST(Zoo, SixReferenceModels) {
+  const auto models = reference_models();
+  ASSERT_EQ(models.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& m : models) names.insert(m.name);
+  EXPECT_TRUE(names.count("NasNet-A"));
+  EXPECT_TRUE(names.count("Darts_v1"));
+  EXPECT_TRUE(names.count("Darts_v2"));
+  EXPECT_TRUE(names.count("AmoebaNet-A"));
+  EXPECT_TRUE(names.count("EnasNet"));
+  EXPECT_TRUE(names.count("PnasNet"));
+}
+
+TEST(Zoo, AllGenotypesValid) {
+  for (const auto& m : reference_models()) {
+    std::string error;
+    EXPECT_TRUE(validate_genotype(m.genotype, &error)) << m.name << ": "
+                                                       << error;
+  }
+}
+
+TEST(Zoo, PaperNumbersMatchTable2) {
+  EXPECT_DOUBLE_EQ(reference_model("Darts_v2").paper_test_error, 2.82);
+  EXPECT_DOUBLE_EQ(reference_model("PnasNet").paper_test_error, 3.63);
+  EXPECT_DOUBLE_EQ(reference_model("NasNet-A").paper_search_gpu_days, 1800);
+  EXPECT_DOUBLE_EQ(reference_model("AmoebaNet-A").paper_search_gpu_days, 3150);
+}
+
+TEST(Zoo, ModelsAreComparablySized) {
+  // All references stand in for large published nets; none should be tiny
+  // relative to the others (that would turn the Table-2 comparison into a
+  // model-size contest instead of a hardware-fit contest).
+  const auto skeleton = default_skeleton();
+  std::int64_t min_macs = INT64_MAX, max_macs = 0;
+  for (const auto& m : reference_models()) {
+    const auto stats = network_stats(extract_layers(m.genotype, skeleton));
+    min_macs = std::min(min_macs, stats.total_macs);
+    max_macs = std::max(max_macs, stats.total_macs);
+  }
+  EXPECT_GT(min_macs, 100'000'000);
+  EXPECT_LT(max_macs, 400'000'000);
+  EXPECT_LT(static_cast<double>(max_macs) / min_macs, 2.5);
+}
+
+TEST(Zoo, GenotypesAreDistinct) {
+  const auto models = reference_models();
+  for (std::size_t i = 0; i < models.size(); ++i)
+    for (std::size_t j = i + 1; j < models.size(); ++j)
+      EXPECT_FALSE(models[i].genotype == models[j].genotype)
+          << models[i].name << " vs " << models[j].name;
+}
+
+TEST(Zoo, LookupByNameThrowsOnUnknown) {
+  EXPECT_THROW(reference_model("ResNet50"), std::invalid_argument);
+  EXPECT_EQ(reference_model("EnasNet").name, "EnasNet");
+}
+
+}  // namespace
+}  // namespace yoso
