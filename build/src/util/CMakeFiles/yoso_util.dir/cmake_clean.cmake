@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_util.dir/env.cpp.o"
+  "CMakeFiles/yoso_util.dir/env.cpp.o.d"
+  "CMakeFiles/yoso_util.dir/rng.cpp.o"
+  "CMakeFiles/yoso_util.dir/rng.cpp.o.d"
+  "CMakeFiles/yoso_util.dir/stats.cpp.o"
+  "CMakeFiles/yoso_util.dir/stats.cpp.o.d"
+  "CMakeFiles/yoso_util.dir/table.cpp.o"
+  "CMakeFiles/yoso_util.dir/table.cpp.o.d"
+  "libyoso_util.a"
+  "libyoso_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_alt_search.cpp.o"
+  "CMakeFiles/test_core.dir/test_alt_search.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_design_space.cpp.o"
+  "CMakeFiles/test_core.dir/test_design_space.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_evaluator.cpp.o"
+  "CMakeFiles/test_core.dir/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_extended_space.cpp.o"
+  "CMakeFiles/test_core.dir/test_extended_space.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_integration.cpp.o"
+  "CMakeFiles/test_core.dir/test_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_pareto.cpp.o"
+  "CMakeFiles/test_core.dir/test_pareto.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_reward.cpp.o"
+  "CMakeFiles/test_core.dir/test_reward.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_search.cpp.o"
+  "CMakeFiles/test_core.dir/test_search.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_core.dir/test_serialize.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_space_statistics.cpp.o"
+  "CMakeFiles/test_core.dir/test_space_statistics.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_trace_io.cpp.o"
+  "CMakeFiles/test_core.dir/test_trace_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_two_stage.cpp.o"
+  "CMakeFiles/test_core.dir/test_two_stage.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
