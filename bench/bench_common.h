@@ -4,12 +4,14 @@
 // the YOSO_SCALE environment variable (YOSO_SCALE=4 approaches the paper's
 // raw sample/iteration counts where that is meaningful).
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "util/env.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace yoso {
 
@@ -19,6 +21,16 @@ inline void bench_banner(const std::string& id, const std::string& title) {
             << "scale: YOSO_SCALE=" << experiment_scale()
             << " (set YOSO_SCALE>1 for paper-scale runs)\n"
             << "================================================================\n";
+}
+
+/// Worker-thread count for parallel bench sections: YOSO_THREADS if set,
+/// otherwise every hardware thread.
+inline std::size_t bench_threads() {
+  if (const char* v = std::getenv("YOSO_THREADS")) {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return ThreadPool::resolve_threads(0);
 }
 
 inline void bench_footer(const Stopwatch& sw) {

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_baseline.dir/bench_ablation_baseline.cpp.o"
+  "CMakeFiles/bench_ablation_baseline.dir/bench_ablation_baseline.cpp.o.d"
+  "bench_ablation_baseline"
+  "bench_ablation_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

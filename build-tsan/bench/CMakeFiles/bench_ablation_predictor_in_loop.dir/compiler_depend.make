@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_predictor_in_loop.
+# This may be replaced when dependencies are built.

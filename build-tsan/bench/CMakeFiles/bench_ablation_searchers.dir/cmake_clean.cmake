@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_searchers.dir/bench_ablation_searchers.cpp.o"
+  "CMakeFiles/bench_ablation_searchers.dir/bench_ablation_searchers.cpp.o.d"
+  "bench_ablation_searchers"
+  "bench_ablation_searchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_searchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_skeleton.dir/bench_extension_skeleton.cpp.o"
+  "CMakeFiles/bench_extension_skeleton.dir/bench_extension_skeleton.cpp.o.d"
+  "bench_extension_skeleton"
+  "bench_extension_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

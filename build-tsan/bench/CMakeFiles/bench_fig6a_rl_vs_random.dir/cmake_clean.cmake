@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_rl_vs_random.dir/bench_fig6a_rl_vs_random.cpp.o"
+  "CMakeFiles/bench_fig6a_rl_vs_random.dir/bench_fig6a_rl_vs_random.cpp.o.d"
+  "bench_fig6a_rl_vs_random"
+  "bench_fig6a_rl_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_rl_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

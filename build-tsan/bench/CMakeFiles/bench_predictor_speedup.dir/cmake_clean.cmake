@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_speedup.dir/bench_predictor_speedup.cpp.o"
+  "CMakeFiles/bench_predictor_speedup.dir/bench_predictor_speedup.cpp.o.d"
+  "bench_predictor_speedup"
+  "bench_predictor_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

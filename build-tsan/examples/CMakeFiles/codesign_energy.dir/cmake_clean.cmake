@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_energy.dir/codesign_energy.cpp.o"
+  "CMakeFiles/codesign_energy.dir/codesign_energy.cpp.o.d"
+  "codesign_energy"
+  "codesign_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

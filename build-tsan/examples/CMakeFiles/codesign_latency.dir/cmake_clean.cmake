@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_latency.dir/codesign_latency.cpp.o"
+  "CMakeFiles/codesign_latency.dir/codesign_latency.cpp.o.d"
+  "codesign_latency"
+  "codesign_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

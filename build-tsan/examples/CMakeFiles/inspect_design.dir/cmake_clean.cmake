@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_design.dir/inspect_design.cpp.o"
+  "CMakeFiles/inspect_design.dir/inspect_design.cpp.o.d"
+  "inspect_design"
+  "inspect_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_hypernet.dir/train_hypernet.cpp.o"
+  "CMakeFiles/train_hypernet.dir/train_hypernet.cpp.o.d"
+  "train_hypernet"
+  "train_hypernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_hypernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_task.dir/transfer_task.cpp.o"
+  "CMakeFiles/transfer_task.dir/transfer_task.cpp.o.d"
+  "transfer_task"
+  "transfer_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_cli.dir/yoso_cli.cpp.o"
+  "CMakeFiles/yoso_cli.dir/yoso_cli.cpp.o.d"
+  "yoso_cli"
+  "yoso_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/area.cpp" "src/accel/CMakeFiles/yoso_accel.dir/area.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/area.cpp.o.d"
+  "/root/repo/src/accel/config.cpp" "src/accel/CMakeFiles/yoso_accel.dir/config.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/config.cpp.o.d"
+  "/root/repo/src/accel/mapping.cpp" "src/accel/CMakeFiles/yoso_accel.dir/mapping.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/mapping.cpp.o.d"
+  "/root/repo/src/accel/roofline.cpp" "src/accel/CMakeFiles/yoso_accel.dir/roofline.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/roofline.cpp.o.d"
+  "/root/repo/src/accel/rtl_export.cpp" "src/accel/CMakeFiles/yoso_accel.dir/rtl_export.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/rtl_export.cpp.o.d"
+  "/root/repo/src/accel/simulator.cpp" "src/accel/CMakeFiles/yoso_accel.dir/simulator.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/simulator.cpp.o.d"
+  "/root/repo/src/accel/tech.cpp" "src/accel/CMakeFiles/yoso_accel.dir/tech.cpp.o" "gcc" "src/accel/CMakeFiles/yoso_accel.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

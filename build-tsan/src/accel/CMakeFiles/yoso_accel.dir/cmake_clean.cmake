@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_accel.dir/area.cpp.o"
+  "CMakeFiles/yoso_accel.dir/area.cpp.o.d"
+  "CMakeFiles/yoso_accel.dir/config.cpp.o"
+  "CMakeFiles/yoso_accel.dir/config.cpp.o.d"
+  "CMakeFiles/yoso_accel.dir/mapping.cpp.o"
+  "CMakeFiles/yoso_accel.dir/mapping.cpp.o.d"
+  "CMakeFiles/yoso_accel.dir/roofline.cpp.o"
+  "CMakeFiles/yoso_accel.dir/roofline.cpp.o.d"
+  "CMakeFiles/yoso_accel.dir/rtl_export.cpp.o"
+  "CMakeFiles/yoso_accel.dir/rtl_export.cpp.o.d"
+  "CMakeFiles/yoso_accel.dir/simulator.cpp.o"
+  "CMakeFiles/yoso_accel.dir/simulator.cpp.o.d"
+  "CMakeFiles/yoso_accel.dir/tech.cpp.o"
+  "CMakeFiles/yoso_accel.dir/tech.cpp.o.d"
+  "libyoso_accel.a"
+  "libyoso_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/encoding.cpp" "src/arch/CMakeFiles/yoso_arch.dir/encoding.cpp.o" "gcc" "src/arch/CMakeFiles/yoso_arch.dir/encoding.cpp.o.d"
+  "/root/repo/src/arch/genotype.cpp" "src/arch/CMakeFiles/yoso_arch.dir/genotype.cpp.o" "gcc" "src/arch/CMakeFiles/yoso_arch.dir/genotype.cpp.o.d"
+  "/root/repo/src/arch/network.cpp" "src/arch/CMakeFiles/yoso_arch.dir/network.cpp.o" "gcc" "src/arch/CMakeFiles/yoso_arch.dir/network.cpp.o.d"
+  "/root/repo/src/arch/ops.cpp" "src/arch/CMakeFiles/yoso_arch.dir/ops.cpp.o" "gcc" "src/arch/CMakeFiles/yoso_arch.dir/ops.cpp.o.d"
+  "/root/repo/src/arch/zoo.cpp" "src/arch/CMakeFiles/yoso_arch.dir/zoo.cpp.o" "gcc" "src/arch/CMakeFiles/yoso_arch.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_arch.dir/encoding.cpp.o"
+  "CMakeFiles/yoso_arch.dir/encoding.cpp.o.d"
+  "CMakeFiles/yoso_arch.dir/genotype.cpp.o"
+  "CMakeFiles/yoso_arch.dir/genotype.cpp.o.d"
+  "CMakeFiles/yoso_arch.dir/network.cpp.o"
+  "CMakeFiles/yoso_arch.dir/network.cpp.o.d"
+  "CMakeFiles/yoso_arch.dir/ops.cpp.o"
+  "CMakeFiles/yoso_arch.dir/ops.cpp.o.d"
+  "CMakeFiles/yoso_arch.dir/zoo.cpp.o"
+  "CMakeFiles/yoso_arch.dir/zoo.cpp.o.d"
+  "libyoso_arch.a"
+  "libyoso_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alt_search.cpp" "src/core/CMakeFiles/yoso_core.dir/alt_search.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/alt_search.cpp.o.d"
+  "/root/repo/src/core/design_space.cpp" "src/core/CMakeFiles/yoso_core.dir/design_space.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/design_space.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/yoso_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/extended_space.cpp" "src/core/CMakeFiles/yoso_core.dir/extended_space.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/extended_space.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/yoso_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/yoso_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "src/core/CMakeFiles/yoso_core.dir/reward.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/reward.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/yoso_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/yoso_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/yoso_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/trace_io.cpp.o.d"
+  "/root/repo/src/core/two_stage.cpp" "src/core/CMakeFiles/yoso_core.dir/two_stage.cpp.o" "gcc" "src/core/CMakeFiles/yoso_core.dir/two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/accel/CMakeFiles/yoso_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surrogate/CMakeFiles/yoso_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predictor/CMakeFiles/yoso_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rl/CMakeFiles/yoso_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/yoso_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

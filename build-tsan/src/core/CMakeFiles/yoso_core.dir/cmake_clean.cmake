@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_core.dir/alt_search.cpp.o"
+  "CMakeFiles/yoso_core.dir/alt_search.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/design_space.cpp.o"
+  "CMakeFiles/yoso_core.dir/design_space.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/evaluator.cpp.o"
+  "CMakeFiles/yoso_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/extended_space.cpp.o"
+  "CMakeFiles/yoso_core.dir/extended_space.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/pareto.cpp.o"
+  "CMakeFiles/yoso_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/report.cpp.o"
+  "CMakeFiles/yoso_core.dir/report.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/reward.cpp.o"
+  "CMakeFiles/yoso_core.dir/reward.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/search.cpp.o"
+  "CMakeFiles/yoso_core.dir/search.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/serialize.cpp.o"
+  "CMakeFiles/yoso_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/trace_io.cpp.o"
+  "CMakeFiles/yoso_core.dir/trace_io.cpp.o.d"
+  "CMakeFiles/yoso_core.dir/two_stage.cpp.o"
+  "CMakeFiles/yoso_core.dir/two_stage.cpp.o.d"
+  "libyoso_core.a"
+  "libyoso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/yoso_linalg.dir/matrix.cpp.o.d"
+  "libyoso_linalg.a"
+  "libyoso_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyoso_linalg.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cell.cpp" "src/nn/CMakeFiles/yoso_nn.dir/cell.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/cell.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/yoso_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "src/nn/CMakeFiles/yoso_nn.dir/im2col.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/im2col.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/yoso_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/yoso_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/yoso_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/yoso_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/yoso_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/yoso_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/yoso_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/yoso_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

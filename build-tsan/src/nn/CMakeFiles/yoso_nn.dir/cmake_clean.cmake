@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_nn.dir/cell.cpp.o"
+  "CMakeFiles/yoso_nn.dir/cell.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/dataset.cpp.o"
+  "CMakeFiles/yoso_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/im2col.cpp.o"
+  "CMakeFiles/yoso_nn.dir/im2col.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/layers.cpp.o"
+  "CMakeFiles/yoso_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/metrics.cpp.o"
+  "CMakeFiles/yoso_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/network.cpp.o"
+  "CMakeFiles/yoso_nn.dir/network.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/yoso_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/quantize.cpp.o"
+  "CMakeFiles/yoso_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/tensor.cpp.o"
+  "CMakeFiles/yoso_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/yoso_nn.dir/trainer.cpp.o"
+  "CMakeFiles/yoso_nn.dir/trainer.cpp.o.d"
+  "libyoso_nn.a"
+  "libyoso_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

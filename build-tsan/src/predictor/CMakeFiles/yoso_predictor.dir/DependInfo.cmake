@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/gp.cpp" "src/predictor/CMakeFiles/yoso_predictor.dir/gp.cpp.o" "gcc" "src/predictor/CMakeFiles/yoso_predictor.dir/gp.cpp.o.d"
+  "/root/repo/src/predictor/models.cpp" "src/predictor/CMakeFiles/yoso_predictor.dir/models.cpp.o" "gcc" "src/predictor/CMakeFiles/yoso_predictor.dir/models.cpp.o.d"
+  "/root/repo/src/predictor/perf_predictor.cpp" "src/predictor/CMakeFiles/yoso_predictor.dir/perf_predictor.cpp.o" "gcc" "src/predictor/CMakeFiles/yoso_predictor.dir/perf_predictor.cpp.o.d"
+  "/root/repo/src/predictor/regressor.cpp" "src/predictor/CMakeFiles/yoso_predictor.dir/regressor.cpp.o" "gcc" "src/predictor/CMakeFiles/yoso_predictor.dir/regressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/yoso_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/accel/CMakeFiles/yoso_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surrogate/CMakeFiles/yoso_surrogate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

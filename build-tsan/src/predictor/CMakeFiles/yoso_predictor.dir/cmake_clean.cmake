@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_predictor.dir/gp.cpp.o"
+  "CMakeFiles/yoso_predictor.dir/gp.cpp.o.d"
+  "CMakeFiles/yoso_predictor.dir/models.cpp.o"
+  "CMakeFiles/yoso_predictor.dir/models.cpp.o.d"
+  "CMakeFiles/yoso_predictor.dir/perf_predictor.cpp.o"
+  "CMakeFiles/yoso_predictor.dir/perf_predictor.cpp.o.d"
+  "CMakeFiles/yoso_predictor.dir/regressor.cpp.o"
+  "CMakeFiles/yoso_predictor.dir/regressor.cpp.o.d"
+  "libyoso_predictor.a"
+  "libyoso_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/controller.cpp" "src/rl/CMakeFiles/yoso_rl.dir/controller.cpp.o" "gcc" "src/rl/CMakeFiles/yoso_rl.dir/controller.cpp.o.d"
+  "/root/repo/src/rl/param_store.cpp" "src/rl/CMakeFiles/yoso_rl.dir/param_store.cpp.o" "gcc" "src/rl/CMakeFiles/yoso_rl.dir/param_store.cpp.o.d"
+  "/root/repo/src/rl/reinforce.cpp" "src/rl/CMakeFiles/yoso_rl.dir/reinforce.cpp.o" "gcc" "src/rl/CMakeFiles/yoso_rl.dir/reinforce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

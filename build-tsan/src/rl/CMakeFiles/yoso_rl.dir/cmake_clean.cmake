@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_rl.dir/controller.cpp.o"
+  "CMakeFiles/yoso_rl.dir/controller.cpp.o.d"
+  "CMakeFiles/yoso_rl.dir/param_store.cpp.o"
+  "CMakeFiles/yoso_rl.dir/param_store.cpp.o.d"
+  "CMakeFiles/yoso_rl.dir/reinforce.cpp.o"
+  "CMakeFiles/yoso_rl.dir/reinforce.cpp.o.d"
+  "libyoso_rl.a"
+  "libyoso_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_surrogate.dir/accuracy_model.cpp.o"
+  "CMakeFiles/yoso_surrogate.dir/accuracy_model.cpp.o.d"
+  "libyoso_surrogate.a"
+  "libyoso_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

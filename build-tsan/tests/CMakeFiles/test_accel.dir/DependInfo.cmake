@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel_config.cpp" "tests/CMakeFiles/test_accel.dir/test_accel_config.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_accel_config.cpp.o.d"
+  "/root/repo/tests/test_area.cpp" "tests/CMakeFiles/test_accel.dir/test_area.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_area.cpp.o.d"
+  "/root/repo/tests/test_batch_mode.cpp" "tests/CMakeFiles/test_accel.dir/test_batch_mode.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_batch_mode.cpp.o.d"
+  "/root/repo/tests/test_mapping.cpp" "tests/CMakeFiles/test_accel.dir/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_mapping.cpp.o.d"
+  "/root/repo/tests/test_roofline.cpp" "tests/CMakeFiles/test_accel.dir/test_roofline.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_roofline.cpp.o.d"
+  "/root/repo/tests/test_rtl_export.cpp" "tests/CMakeFiles/test_accel.dir/test_rtl_export.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_rtl_export.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/test_accel.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_simulator_properties.cpp" "tests/CMakeFiles/test_accel.dir/test_simulator_properties.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_simulator_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/yoso_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rl/CMakeFiles/yoso_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predictor/CMakeFiles/yoso_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surrogate/CMakeFiles/yoso_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/yoso_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/accel/CMakeFiles/yoso_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/yoso_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

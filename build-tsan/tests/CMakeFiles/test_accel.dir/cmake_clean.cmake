@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/test_accel_config.cpp.o"
+  "CMakeFiles/test_accel.dir/test_accel_config.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_area.cpp.o"
+  "CMakeFiles/test_accel.dir/test_area.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_batch_mode.cpp.o"
+  "CMakeFiles/test_accel.dir/test_batch_mode.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_mapping.cpp.o"
+  "CMakeFiles/test_accel.dir/test_mapping.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_roofline.cpp.o"
+  "CMakeFiles/test_accel.dir/test_roofline.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_rtl_export.cpp.o"
+  "CMakeFiles/test_accel.dir/test_rtl_export.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_accel.dir/test_simulator.cpp.o.d"
+  "CMakeFiles/test_accel.dir/test_simulator_properties.cpp.o"
+  "CMakeFiles/test_accel.dir/test_simulator_properties.cpp.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

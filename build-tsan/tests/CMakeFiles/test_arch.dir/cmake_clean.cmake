@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/test_encoding.cpp.o"
+  "CMakeFiles/test_arch.dir/test_encoding.cpp.o.d"
+  "CMakeFiles/test_arch.dir/test_genotype.cpp.o"
+  "CMakeFiles/test_arch.dir/test_genotype.cpp.o.d"
+  "CMakeFiles/test_arch.dir/test_network_arch.cpp.o"
+  "CMakeFiles/test_arch.dir/test_network_arch.cpp.o.d"
+  "CMakeFiles/test_arch.dir/test_ops.cpp.o"
+  "CMakeFiles/test_arch.dir/test_ops.cpp.o.d"
+  "CMakeFiles/test_arch.dir/test_zoo.cpp.o"
+  "CMakeFiles/test_arch.dir/test_zoo.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

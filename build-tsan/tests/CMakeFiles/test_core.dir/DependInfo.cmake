@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alt_search.cpp" "tests/CMakeFiles/test_core.dir/test_alt_search.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_alt_search.cpp.o.d"
+  "/root/repo/tests/test_design_space.cpp" "tests/CMakeFiles/test_core.dir/test_design_space.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_design_space.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/test_core.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_extended_space.cpp" "tests/CMakeFiles/test_core.dir/test_extended_space.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_extended_space.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_core.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_parallel_search.cpp" "tests/CMakeFiles/test_core.dir/test_parallel_search.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_parallel_search.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/test_core.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_core.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_reward.cpp" "tests/CMakeFiles/test_core.dir/test_reward.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_reward.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/test_core.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_space_statistics.cpp" "tests/CMakeFiles/test_core.dir/test_space_statistics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_space_statistics.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/test_core.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_two_stage.cpp" "tests/CMakeFiles/test_core.dir/test_two_stage.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/yoso_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rl/CMakeFiles/yoso_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predictor/CMakeFiles/yoso_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surrogate/CMakeFiles/yoso_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/yoso_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/accel/CMakeFiles/yoso_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/yoso_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cell.cpp" "tests/CMakeFiles/test_nn.dir/test_cell.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_cell.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/test_nn.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_im2col.cpp" "tests/CMakeFiles/test_nn.dir/test_im2col.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_im2col.cpp.o.d"
+  "/root/repo/tests/test_layers_nn.cpp" "tests/CMakeFiles/test_nn.dir/test_layers_nn.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_layers_nn.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_nn.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/test_nn.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pathnetwork.cpp" "tests/CMakeFiles/test_nn.dir/test_pathnetwork.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_pathnetwork.cpp.o.d"
+  "/root/repo/tests/test_quantize.cpp" "tests/CMakeFiles/test_nn.dir/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_quantize.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/test_nn.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_trainer.cpp" "tests/CMakeFiles/test_nn.dir/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/yoso_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rl/CMakeFiles/yoso_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predictor/CMakeFiles/yoso_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surrogate/CMakeFiles/yoso_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/yoso_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/accel/CMakeFiles/yoso_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/yoso_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

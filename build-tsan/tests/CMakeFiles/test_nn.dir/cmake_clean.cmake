@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/test_cell.cpp.o"
+  "CMakeFiles/test_nn.dir/test_cell.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_dataset.cpp.o"
+  "CMakeFiles/test_nn.dir/test_dataset.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_im2col.cpp.o"
+  "CMakeFiles/test_nn.dir/test_im2col.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_layers_nn.cpp.o"
+  "CMakeFiles/test_nn.dir/test_layers_nn.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_nn.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_pathnetwork.cpp.o"
+  "CMakeFiles/test_nn.dir/test_pathnetwork.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_quantize.cpp.o"
+  "CMakeFiles/test_nn.dir/test_quantize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_tensor.cpp.o"
+  "CMakeFiles/test_nn.dir/test_tensor.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/test_trainer.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

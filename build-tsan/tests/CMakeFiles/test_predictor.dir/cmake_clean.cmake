@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor.dir/test_perf_predictor.cpp.o"
+  "CMakeFiles/test_predictor.dir/test_perf_predictor.cpp.o.d"
+  "CMakeFiles/test_predictor.dir/test_regressors.cpp.o"
+  "CMakeFiles/test_predictor.dir/test_regressors.cpp.o.d"
+  "CMakeFiles/test_predictor.dir/test_surrogate.cpp.o"
+  "CMakeFiles/test_predictor.dir/test_surrogate.cpp.o.d"
+  "test_predictor"
+  "test_predictor.pdb"
+  "test_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

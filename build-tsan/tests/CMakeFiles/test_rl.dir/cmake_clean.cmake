@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/test_checkpoint.cpp.o"
+  "CMakeFiles/test_rl.dir/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_rl.dir/test_reinforce.cpp.o"
+  "CMakeFiles/test_rl.dir/test_reinforce.cpp.o.d"
+  "CMakeFiles/test_rl.dir/test_rl_controller.cpp.o"
+  "CMakeFiles/test_rl.dir/test_rl_controller.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

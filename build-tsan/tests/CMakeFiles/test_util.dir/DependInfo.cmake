@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/test_util.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/test_util.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/yoso_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rl/CMakeFiles/yoso_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/predictor/CMakeFiles/yoso_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surrogate/CMakeFiles/yoso_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/yoso_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/accel/CMakeFiles/yoso_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/yoso_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/yoso_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/yoso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_arch[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_accel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")

@@ -240,10 +240,24 @@ bench/CMakeFiles/bench_fig4_predictors.dir/bench_fig4_predictors.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/../util/table.h \
- /root/repo/src/core/../predictor/gp.h /usr/include/c++/12/optional \
+ /root/repo/src/core/../util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/core/../predictor/gp.h /usr/include/c++/12/optional \
  /root/repo/src/core/../linalg/matrix.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/core/../predictor/regressor.h \
+ /root/repo/src/core/../predictor/regressor.h \
  /root/repo/src/core/../predictor/models.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../predictor/perf_predictor.h \

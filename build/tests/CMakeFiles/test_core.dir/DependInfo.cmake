@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/test_core.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_evaluator.cpp.o.d"
   "/root/repo/tests/test_extended_space.cpp" "tests/CMakeFiles/test_core.dir/test_extended_space.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_extended_space.cpp.o.d"
   "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_core.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_parallel_search.cpp" "tests/CMakeFiles/test_core.dir/test_parallel_search.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_parallel_search.cpp.o.d"
   "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/test_core.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_pareto.cpp.o.d"
   "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_core.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_report.cpp.o.d"
   "/root/repo/tests/test_reward.cpp" "tests/CMakeFiles/test_core.dir/test_reward.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_reward.cpp.o.d"

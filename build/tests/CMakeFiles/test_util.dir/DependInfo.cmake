@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o.d"
   "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o.d"
   "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/test_util.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

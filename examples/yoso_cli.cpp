@@ -11,6 +11,8 @@
 //   --iterations N                                      [2000]
 //   --samples    N   (GP training samples, Step 1)      [500]
 //   --top-n      N   (finalists for Step-3 rerank)      [10]
+//   --threads    N   (evaluation workers, 0 = all HW)   [1]
+//   --batch      N   (candidates evaluated per round)   [threads]
 //   --seed       N                                      [7]
 //   --t-lat      X   latency threshold, ms              [1.2]
 //   --t-eer      X   energy threshold, mJ               [9.0]
@@ -32,6 +34,7 @@
 #include "core/serialize.h"
 #include "core/trace_io.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -43,6 +46,8 @@ struct CliOptions {
   std::size_t iterations = 2000;
   std::size_t samples = 500;
   std::size_t top_n = 10;
+  std::size_t threads = 1;
+  std::size_t batch = 0;  // 0: follow the resolved thread count
   std::uint64_t seed = 7;
   double t_lat = 1.2;
   double t_eer = 9.0;
@@ -74,6 +79,8 @@ CliOptions parse_args(int argc, char** argv) {
       else if (key == "iterations") opt.iterations = std::stoul(value);
       else if (key == "samples") opt.samples = std::stoul(value);
       else if (key == "top-n") opt.top_n = std::stoul(value);
+      else if (key == "threads") opt.threads = std::stoul(value);
+      else if (key == "batch") opt.batch = std::stoul(value);
       else if (key == "seed") opt.seed = std::stoull(value);
       else if (key == "t-lat") opt.t_lat = std::stod(value);
       else if (key == "t-eer") opt.t_eer = std::stod(value);
@@ -109,10 +116,13 @@ int main(int argc, char** argv) {
   const NetworkSkeleton skeleton = default_skeleton();
   SystolicSimulator simulator({}, SimFidelity::kCycleLevel);
 
+  const std::size_t threads = ThreadPool::resolve_threads(cli.threads);
   std::cout << "[1/3] building the fast evaluator (" << cli.samples
-            << " simulator samples)...\n";
+            << " simulator samples, " << threads << " thread(s))...\n";
   FastEvaluator fast(space, skeleton, simulator,
-                     {.predictor_samples = cli.samples, .seed = cli.seed});
+                     {.predictor_samples = cli.samples,
+                      .seed = cli.seed,
+                      .threads = threads});
   AccurateEvaluator accurate(skeleton);
 
   SearchOptions options;
@@ -120,6 +130,8 @@ int main(int argc, char** argv) {
   options.top_n = cli.top_n;
   options.reward = pick_reward(cli);
   options.seed = cli.seed;
+  options.threads = threads;
+  options.batch_size = cli.batch == 0 ? threads : cli.batch;
 
   std::cout << "[2/3] running " << cli.searcher << " search ("
             << cli.iterations << " iterations, "

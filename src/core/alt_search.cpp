@@ -19,15 +19,7 @@ double expected_improvement(double mu, double variance, double best) {
 
 // ------------------------------------------------------------ evolution
 
-EvolutionarySearch::EvolutionarySearch(const DesignSpace& space,
-                                       SearchOptions options,
-                                       EvolutionOptions evolution)
-    : space_(space), options_(std::move(options)), evolution_(evolution) {}
-
-SearchResult EvolutionarySearch::run(Evaluator& fast, Evaluator* accurate) {
-  SearchResult result;
-  Rng rng(options_.seed ^ 0xeUL);
-  FinalistPool top(options_.top_n);
+void EvolutionarySearch::search(SearchLoop& loop, Rng& rng) {
   const std::vector<int> cards = space_.cardinalities();
 
   struct Member {
@@ -35,18 +27,6 @@ SearchResult EvolutionarySearch::run(Evaluator& fast, Evaluator* accurate) {
     double reward = 0.0;
   };
   std::deque<Member> population;
-
-  auto evaluate_actions = [&](const std::vector<int>& actions,
-                              std::size_t it) {
-    const CandidateDesign candidate = space_.decode(actions);
-    const EvalResult eval = fast.evaluate(candidate);
-    const double reward = options_.reward.compute(eval);
-    top.offer(candidate, reward, eval);
-    result.best_fast_reward = std::max(result.best_fast_reward, reward);
-    if (options_.trace_every != 0 && it % options_.trace_every == 0)
-      result.trace.push_back({it, reward, eval, candidate});
-    return reward;
-  };
 
   for (std::size_t it = 0; it < options_.iterations; ++it) {
     Member child;
@@ -81,29 +61,16 @@ SearchResult EvolutionarySearch::run(Evaluator& fast, Evaluator* accurate) {
         child.actions[a] = rng.uniform_int(0, cards[a] - 1);
       }
     }
-    child.reward = evaluate_actions(child.actions, it);
+    child.reward = loop.submit(space_.decode(child.actions));
     population.push_back(std::move(child));
     if (population.size() > evolution_.population)
       population.pop_front();  // aging: the oldest dies
   }
-
-  result.iterations_run = options_.iterations;
-  result.finalists = top.take();
-  rerank_finalists(result, options_.reward, accurate);
-  return result;
 }
 
 // -------------------------------------------------------------- BayesOpt
 
-BayesOptSearch::BayesOptSearch(const DesignSpace& space,
-                               SearchOptions options, BayesOptOptions bayes)
-    : space_(space), options_(std::move(options)), bayes_(bayes) {}
-
-SearchResult BayesOptSearch::run(Evaluator& fast, Evaluator* accurate) {
-  SearchResult result;
-  Rng rng(options_.seed ^ 0xb0UL);
-  FinalistPool top(options_.top_n);
-
+void BayesOptSearch::search(SearchLoop& loop, Rng& rng) {
   // Observations (features -> reward), windowed.
   std::deque<std::pair<std::vector<double>, double>> observations;
   GpRegressor gp;
@@ -147,13 +114,8 @@ SearchResult BayesOptSearch::run(Evaluator& fast, Evaluator* accurate) {
       }
     }
 
-    const EvalResult eval = fast.evaluate(chosen);
-    const double reward = options_.reward.compute(eval);
+    const double reward = loop.submit(chosen);
     best_reward = std::max(best_reward, reward);
-    top.offer(chosen, reward, eval);
-    result.best_fast_reward = std::max(result.best_fast_reward, reward);
-    if (options_.trace_every != 0 && it % options_.trace_every == 0)
-      result.trace.push_back({it, reward, eval, chosen});
 
     observations.emplace_back(features_of(chosen), reward);
     if (observations.size() > bayes_.train_window) observations.pop_front();
@@ -161,11 +123,6 @@ SearchResult BayesOptSearch::run(Evaluator& fast, Evaluator* accurate) {
         (it % bayes_.refit_every == 0 || !gp_ready))
       refit();
   }
-
-  result.iterations_run = options_.iterations;
-  result.finalists = top.take();
-  rerank_finalists(result, options_.reward, accurate);
-  return result;
 }
 
 }  // namespace yoso

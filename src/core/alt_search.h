@@ -11,9 +11,13 @@
 //  * BayesOptSearch    — GP surrogate over design features with an
 //    expected-improvement acquisition maximised over a random pool.
 //
-// Both run through the same bookkeeping (trace, finalist pool, Step-3
-// rerank) as YosoSearch / RandomSearchDriver, so results are directly
-// comparable.
+// Both extend SearchDriver, so they run through the same bookkeeping
+// (trace, finalist pool, Step-3 rerank) as YosoSearch /
+// RandomSearchDriver and results are directly comparable.  Their proposal
+// loops are inherently sequential (each child depends on all previous
+// rewards), so they submit one candidate at a time; options.batch_size is
+// ignored, while options.threads still parallelizes Step-1 sampling and
+// the Step-3 rerank.
 
 #include <deque>
 
@@ -29,16 +33,17 @@ struct EvolutionOptions {
 };
 
 /// Regularized evolution over the 44-action sequence.
-class EvolutionarySearch {
+class EvolutionarySearch : public SearchDriver {
  public:
   EvolutionarySearch(const DesignSpace& space, SearchOptions options,
-                     EvolutionOptions evolution = {});
+                     EvolutionOptions evolution = {})
+      : SearchDriver(space, std::move(options)), evolution_(evolution) {}
 
-  SearchResult run(Evaluator& fast, Evaluator* accurate);
+ protected:
+  void search(SearchLoop& loop, Rng& rng) override;
+  std::uint64_t rng_salt() const override { return 0xeull; }
 
  private:
-  const DesignSpace& space_;
-  SearchOptions options_;
   EvolutionOptions evolution_;
 };
 
@@ -50,16 +55,17 @@ struct BayesOptOptions {
 };
 
 /// GP-surrogate Bayesian optimisation with expected improvement.
-class BayesOptSearch {
+class BayesOptSearch : public SearchDriver {
  public:
   BayesOptSearch(const DesignSpace& space, SearchOptions options,
-                 BayesOptOptions bayes = {});
+                 BayesOptOptions bayes = {})
+      : SearchDriver(space, std::move(options)), bayes_(bayes) {}
 
-  SearchResult run(Evaluator& fast, Evaluator* accurate);
+ protected:
+  void search(SearchLoop& loop, Rng& rng) override;
+  std::uint64_t rng_salt() const override { return 0xb0ull; }
 
  private:
-  const DesignSpace& space_;
-  SearchOptions options_;
   BayesOptOptions bayes_;
 };
 

@@ -5,6 +5,31 @@
 
 namespace yoso {
 
+std::string candidate_key(const CandidateDesign& candidate) {
+  std::string key;
+  key.reserve(4 * 2 * kInteriorNodes + 9);
+  const auto put8 = [&key](int v) { key.push_back(static_cast<char>(v)); };
+  const auto put16 = [&key](int v) {
+    key.push_back(static_cast<char>(v & 0xff));
+    key.push_back(static_cast<char>((v >> 8) & 0xff));
+  };
+  for (const CellGenotype* cell :
+       {&candidate.genotype.normal, &candidate.genotype.reduction}) {
+    for (const NodeSpec& n : cell->nodes) {
+      put8(n.input_a);
+      put8(n.input_b);
+      put8(static_cast<int>(n.op_a));
+      put8(static_cast<int>(n.op_b));
+    }
+  }
+  put8(candidate.config.pe_rows);
+  put8(candidate.config.pe_cols);
+  put16(candidate.config.g_buf_kb);
+  put16(candidate.config.r_buf_bytes);
+  put8(static_cast<int>(candidate.config.dataflow));
+  return key;
+}
+
 DesignSpace::DesignSpace(ConfigSpace config_space)
     : config_space_(std::move(config_space)), dnn_steps_(dnn_action_steps()) {}
 

@@ -22,6 +22,12 @@ struct CandidateDesign {
   bool operator==(const CandidateDesign&) const = default;
 };
 
+/// Compact byte string that uniquely identifies a candidate (a fixed-width
+/// packing of its encoded actions).  Used as the hash key for evaluation
+/// memoization and finalist dedupe; two candidates compare equal iff their
+/// keys are equal.
+std::string candidate_key(const CandidateDesign& candidate);
+
 class DesignSpace {
  public:
   explicit DesignSpace(ConfigSpace config_space = default_config_space());

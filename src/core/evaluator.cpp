@@ -1,15 +1,36 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
+#include <string_view>
+
 namespace yoso {
+namespace {
+
+// Memoization stops growing past this many distinct designs (~100 MB worst
+// case); further misses are still computed, just not retained.
+constexpr std::size_t kMaxCacheEntries = 1u << 20;
+
+}  // namespace
+
+std::vector<EvalResult> Evaluator::evaluate_batch(
+    std::span<const CandidateDesign> batch) {
+  std::vector<EvalResult> results;
+  results.reserve(batch.size());
+  for (const CandidateDesign& c : batch) results.push_back(evaluate(c));
+  return results;
+}
 
 FastEvaluator::FastEvaluator(const DesignSpace& space,
                              const NetworkSkeleton& skeleton,
                              const SystolicSimulator& simulator,
                              FastEvaluatorOptions options)
-    : accuracy_(skeleton), predictor_(skeleton) {
+    : accuracy_(skeleton),
+      predictor_(skeleton),
+      threads_(ThreadPool::resolve_threads(options.threads)) {
   Rng rng(options.seed);
-  const auto samples = collect_samples(options.predictor_samples, simulator,
-                                       space.config_space(), skeleton, rng);
+  const auto samples =
+      collect_samples(options.predictor_samples, simulator,
+                      space.config_space(), skeleton, rng, options.threads);
   predictor_.fit(samples);
 }
 
@@ -19,7 +40,19 @@ FastEvaluator::FastEvaluator(const NetworkSkeleton& skeleton,
   predictor_.fit(samples);
 }
 
-EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
+void FastEvaluator::set_parallelism(std::size_t threads) {
+  threads = ThreadPool::resolve_threads(threads);
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_.reset();  // resized lazily on the next batch
+}
+
+ThreadPool& FastEvaluator::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  return *pool_;
+}
+
+EvalResult FastEvaluator::compute(const CandidateDesign& candidate) const {
   EvalResult r;
   r.accuracy = accuracy_.hypernet_accuracy(candidate.genotype);
   r.latency_ms = std::max(
@@ -31,11 +64,64 @@ EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
   return r;
 }
 
+EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
+  return compute(candidate);
+}
+
+std::vector<EvalResult> FastEvaluator::evaluate_batch(
+    std::span<const CandidateDesign> batch) {
+  std::vector<EvalResult> results(batch.size());
+  std::vector<std::string> keys(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    keys[i] = candidate_key(batch[i]);
+
+  // Misses: first occurrence of every key not already cached.  Only these
+  // hit the GPs; duplicates within the batch are computed once.
+  std::vector<std::size_t> miss;
+  std::unordered_map<std::string_view, std::size_t> miss_slot;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (cache_.contains(keys[i])) continue;
+    if (miss_slot.emplace(keys[i], miss.size()).second) miss.push_back(i);
+  }
+
+  // The parallel section: pure read-only predictions, no shared writes
+  // except each worker's own result slot.
+  std::vector<EvalResult> computed(miss.size());
+  pool().parallel_for(0, miss.size(), [&](std::size_t j) {
+    computed[j] = compute(batch[miss[j]]);
+  });
+
+  // Cache insertion happens on the calling thread, in batch order, so the
+  // cache contents are independent of the thread count.
+  for (std::size_t j = 0; j < miss.size(); ++j)
+    if (cache_.size() < kMaxCacheEntries)
+      cache_.emplace(keys[miss[j]], computed[j]);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto it = cache_.find(keys[i]);
+    results[i] =
+        it != cache_.end() ? it->second : computed[miss_slot.at(keys[i])];
+  }
+  return results;
+}
+
 AccurateEvaluator::AccurateEvaluator(NetworkSkeleton skeleton,
                                      SystolicSimulator simulator)
     : skeleton_(std::move(skeleton)),
       accuracy_(skeleton_),
       simulator_(simulator) {}
+
+void AccurateEvaluator::set_parallelism(std::size_t threads) {
+  threads = ThreadPool::resolve_threads(threads);
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_.reset();
+}
+
+ThreadPool& AccurateEvaluator::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  return *pool_;
+}
 
 EvalResult AccurateEvaluator::evaluate(const CandidateDesign& candidate) {
   EvalResult r;
@@ -46,6 +132,15 @@ EvalResult AccurateEvaluator::evaluate(const CandidateDesign& candidate) {
   r.latency_ms = sim.latency_ms;
   r.energy_mj = sim.energy_mj;
   return r;
+}
+
+std::vector<EvalResult> AccurateEvaluator::evaluate_batch(
+    std::span<const CandidateDesign> batch) {
+  std::vector<EvalResult> results(batch.size());
+  pool().parallel_for(0, batch.size(), [&](std::size_t i) {
+    results[i] = evaluate(batch[i]);
+  });
+  return results;
 }
 
 }  // namespace yoso

@@ -13,33 +13,62 @@
 //
 // Both share one interface so the search driver is evaluator-agnostic, and
 // the HyperNet-backed evaluator in examples/ plugs in the same way.
+//
+// Batched evaluation: evaluate_batch() scores a span of candidates at once.
+// Both bundled evaluators are pure functions of the candidate after
+// construction (the GPs, the accuracy surrogate and the simulator are all
+// read-only and deterministic), so their overrides fan the batch out across
+// a thread pool; FastEvaluator additionally memoizes results keyed by the
+// encoded candidate, which pays off when the controller revisits designs.
+// Results are bit-identical to per-candidate serial evaluation at any
+// thread count.
 
 #include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "accel/simulator.h"
 #include "core/design_space.h"
 #include "core/reward.h"
 #include "predictor/perf_predictor.h"
 #include "surrogate/accuracy_model.h"
+#include "util/thread_pool.h"
 
 namespace yoso {
 
 class Evaluator {
  public:
   virtual ~Evaluator() = default;
+
   virtual EvalResult evaluate(const CandidateDesign& candidate) = 0;
+
+  /// Scores `batch` in order.  The base implementation is a serial loop over
+  /// evaluate(); overrides may parallelize but must return results identical
+  /// to that loop.
+  virtual std::vector<EvalResult> evaluate_batch(
+      std::span<const CandidateDesign> batch);
+
+  /// Number of worker threads batch evaluation may use (1 = serial,
+  /// 0 = all hardware threads).  A no-op for evaluators without a parallel
+  /// batch path.
+  virtual void set_parallelism(std::size_t /*threads*/) {}
 };
 
 /// Step-1 construction knobs for the fast evaluator.
 struct FastEvaluatorOptions {
   std::size_t predictor_samples = 600;  ///< simulator samples for GP training
   std::uint64_t seed = 99;
+  std::size_t threads = 1;  ///< Step-1 sample collection + batch eval workers
 };
 
 class FastEvaluator : public Evaluator {
  public:
   /// Builds the evaluator: collects `predictor_samples` simulator samples
-  /// and fits the energy + latency GPs (paper Step 1).
+  /// and fits the energy + latency GPs (paper Step 1).  Sample simulation
+  /// fans out across `options.threads` workers; the candidate draws stay on
+  /// one RNG stream so the collected set is thread-count independent.
   FastEvaluator(const DesignSpace& space, const NetworkSkeleton& skeleton,
                 const SystolicSimulator& simulator,
                 FastEvaluatorOptions options = {});
@@ -48,14 +77,33 @@ class FastEvaluator : public Evaluator {
   FastEvaluator(const NetworkSkeleton& skeleton,
                 const std::vector<PerfSample>& samples);
 
+  /// Single-candidate evaluation: always recomputes (the serial baseline).
   EvalResult evaluate(const CandidateDesign& candidate) override;
+
+  /// Parallel batched evaluation with memoization: distinct uncached
+  /// candidates are scored across the pool, revisited ones are served from
+  /// the cache.  Identical results to evaluate() per element.
+  std::vector<EvalResult> evaluate_batch(
+      std::span<const CandidateDesign> batch) override;
+
+  void set_parallelism(std::size_t threads) override;
+  std::size_t parallelism() const { return threads_; }
+
+  std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
 
   const PerformancePredictor& predictor() const { return predictor_; }
   const AccuracyModel& accuracy_model() const { return accuracy_; }
 
  private:
+  EvalResult compute(const CandidateDesign& candidate) const;
+  ThreadPool& pool();
+
   AccuracyModel accuracy_;
   PerformancePredictor predictor_;
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unordered_map<std::string, EvalResult> cache_;
 };
 
 class AccurateEvaluator : public Evaluator {
@@ -66,12 +114,24 @@ class AccurateEvaluator : public Evaluator {
 
   EvalResult evaluate(const CandidateDesign& candidate) override;
 
+  /// Parallel batch scoring (no memoization: Step-3 finalists are already
+  /// distinct and cycle-level simulation dominates, so the fan-out is the
+  /// whole win).
+  std::vector<EvalResult> evaluate_batch(
+      std::span<const CandidateDesign> batch) override;
+
+  void set_parallelism(std::size_t threads) override;
+
   const SystolicSimulator& simulator() const { return simulator_; }
 
  private:
+  ThreadPool& pool();
+
   NetworkSkeleton skeleton_;
   AccuracyModel accuracy_;
   SystolicSimulator simulator_;
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace yoso

@@ -12,6 +12,7 @@
 // differs because accuracy and performance now depend on the candidate's
 // own skeleton.
 
+#include <limits>
 #include <optional>
 
 #include "core/evaluator.h"
@@ -106,7 +107,7 @@ struct ExtendedSearchResult {
   std::vector<SearchTracePoint> trace;  ///< candidate field holds design only
   std::vector<ExtendedRanked> finalists;
   std::optional<ExtendedRanked> best;
-  double best_fast_reward = 0.0;
+  double best_fast_reward = -std::numeric_limits<double>::infinity();
 };
 
 /// RL search over the 46-action space (same controller/REINFORCE settings

@@ -6,37 +6,78 @@ namespace yoso {
 
 void FinalistPool::offer(const CandidateDesign& candidate, double reward,
                          const EvalResult& result) {
-  for (const auto& e : entries_)
-    if (e.candidate == candidate) return;  // dedupe revisited designs
-  if (entries_.size() < capacity_ || reward > entries_.back().fast_reward) {
-    RankedCandidate e;
-    e.candidate = candidate;
-    e.fast_reward = reward;
-    e.fast_result = result;
-    entries_.push_back(std::move(e));
-    std::sort(entries_.begin(), entries_.end(),
-              [](const RankedCandidate& a, const RankedCandidate& b) {
-                return a.fast_reward > b.fast_reward;
-              });
-    if (entries_.size() > capacity_) entries_.pop_back();
+  if (capacity_ == 0) return;
+  if (!seen_.insert(candidate_key(candidate)).second)
+    return;  // dedupe revisited designs
+  if (entries_.size() >= capacity_ &&
+      reward <= entries_.back().fast_reward)
+    return;
+  RankedCandidate e;
+  e.candidate = candidate;
+  e.fast_reward = reward;
+  e.fast_result = result;
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), reward,
+      [](double r, const RankedCandidate& b) { return r > b.fast_reward; });
+  entries_.insert(pos, std::move(e));
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<double> SearchLoop::submit(
+    std::span<const CandidateDesign> batch) {
+  const std::vector<EvalResult> evals = fast_.evaluate_batch(batch);
+  std::vector<double> rewards(batch.size());
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    const double reward = options_.reward.compute(evals[j]);
+    rewards[j] = reward;
+    pool_.offer(batch[j], reward, evals[j]);
+    result_.best_fast_reward = std::max(result_.best_fast_reward, reward);
+    if (options_.trace_every != 0 && iteration_ % options_.trace_every == 0)
+      result_.trace.push_back({iteration_, reward, evals[j], batch[j]});
+    ++iteration_;
   }
+  return rewards;
+}
+
+double SearchLoop::submit(const CandidateDesign& candidate) {
+  return submit(std::span<const CandidateDesign>(&candidate, 1)).front();
+}
+
+SearchResult SearchDriver::run(Evaluator& fast, Evaluator* accurate) {
+  fast.set_parallelism(options_.threads);
+  if (accurate != nullptr) accurate->set_parallelism(options_.threads);
+  SearchResult result;
+  SearchLoop loop(options_, fast, result);
+  Rng rng(options_.seed ^ rng_salt());
+  search(loop, rng);
+  result.iterations_run = loop.iterations_done();
+  result.finalists = loop.take_finalists();
+  rerank_finalists(result, options_.reward, accurate);
+  return result;
 }
 
 void rerank_finalists(SearchResult& result, const RewardParams& reward,
                       Evaluator* accurate) {
-  for (RankedCandidate& f : result.finalists) {
-    if (accurate != nullptr) {
-      f.accurate_result = accurate->evaluate(f.candidate);
-    } else {
+  if (accurate != nullptr && !result.finalists.empty()) {
+    std::vector<CandidateDesign> candidates;
+    candidates.reserve(result.finalists.size());
+    for (const RankedCandidate& f : result.finalists)
+      candidates.push_back(f.candidate);
+    const std::vector<EvalResult> evals = accurate->evaluate_batch(candidates);
+    for (std::size_t i = 0; i < result.finalists.size(); ++i)
+      result.finalists[i].accurate_result = evals[i];
+  } else {
+    for (RankedCandidate& f : result.finalists)
       f.accurate_result = f.fast_result;
-    }
+  }
+  for (RankedCandidate& f : result.finalists) {
     f.accurate_reward = reward.compute(f.accurate_result);
     f.feasible = reward.feasible(f.accurate_result);
   }
-  std::sort(result.finalists.begin(), result.finalists.end(),
-            [](const RankedCandidate& a, const RankedCandidate& b) {
-              return a.accurate_reward > b.accurate_reward;
-            });
+  std::stable_sort(result.finalists.begin(), result.finalists.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.accurate_reward > b.accurate_reward;
+                   });
   // Best feasible finalist wins; if none is feasible, take the best overall
   // so callers still get a solution to report.
   for (const RankedCandidate& f : result.finalists) {
@@ -48,59 +89,45 @@ void rerank_finalists(SearchResult& result, const RewardParams& reward,
   if (!result.finalists.empty()) result.best = result.finalists.front();
 }
 
-YosoSearch::YosoSearch(const DesignSpace& space, SearchOptions options)
-    : space_(space), options_(std::move(options)) {}
-
-SearchResult YosoSearch::run(Evaluator& fast, Evaluator* accurate) {
-  SearchResult result;
+void YosoSearch::search(SearchLoop& loop, Rng& rng) {
   ControllerOptions copt = options_.controller;
   copt.seed = options_.seed;
   LstmController controller(space_.cardinalities(), copt);
   ReinforceTrainer trainer(controller, options_.reinforce);
-  Rng rng(options_.seed ^ 0x5ca1ab1eull);
-  FinalistPool top(options_.top_n);
+  const std::size_t round = std::max<std::size_t>(1, options_.batch_size);
 
-  for (std::size_t it = 0; it < options_.iterations; ++it) {
-    Episode ep = trainer.propose(rng);
-    const CandidateDesign candidate = space_.decode(ep.actions);
-    const EvalResult eval = fast.evaluate(candidate);
-    const double reward = options_.reward.compute(eval);
-    trainer.feedback(ep, reward);
-    top.offer(candidate, reward, eval);
-    result.best_fast_reward = std::max(result.best_fast_reward, reward);
-    if (options_.trace_every != 0 && it % options_.trace_every == 0)
-      result.trace.push_back({it, reward, eval, candidate});
+  std::vector<Episode> episodes;
+  std::vector<CandidateDesign> batch;
+  std::size_t it = 0;
+  while (it < options_.iterations) {
+    const std::size_t k = std::min(round, options_.iterations - it);
+    episodes.clear();
+    batch.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      episodes.push_back(trainer.propose(rng));
+      batch.push_back(space_.decode(episodes.back().actions));
+    }
+    const std::vector<double> rewards = loop.submit(batch);
+    for (std::size_t j = 0; j < k; ++j)
+      trainer.feedback(episodes[j], rewards[j]);
+    it += k;
   }
-  result.iterations_run = options_.iterations;
-  result.finalists = top.take();
-  rerank_finalists(result, options_.reward, accurate);
-  return result;
 }
 
-RandomSearchDriver::RandomSearchDriver(const DesignSpace& space,
-                                       SearchOptions options)
-    : space_(space), options_(std::move(options)) {}
-
-SearchResult RandomSearchDriver::run(Evaluator& fast, Evaluator* accurate) {
-  SearchResult result;
+void RandomSearchDriver::search(SearchLoop& loop, Rng& rng) {
   RandomSearcher searcher(space_.cardinalities());
-  Rng rng(options_.seed ^ 0xdecafull);
-  FinalistPool top(options_.top_n);
+  const std::size_t round = std::max<std::size_t>(1, options_.batch_size);
 
-  for (std::size_t it = 0; it < options_.iterations; ++it) {
-    const std::vector<int> actions = searcher.propose(rng);
-    const CandidateDesign candidate = space_.decode(actions);
-    const EvalResult eval = fast.evaluate(candidate);
-    const double reward = options_.reward.compute(eval);
-    top.offer(candidate, reward, eval);
-    result.best_fast_reward = std::max(result.best_fast_reward, reward);
-    if (options_.trace_every != 0 && it % options_.trace_every == 0)
-      result.trace.push_back({it, reward, eval, candidate});
+  std::vector<CandidateDesign> batch;
+  std::size_t it = 0;
+  while (it < options_.iterations) {
+    const std::size_t k = std::min(round, options_.iterations - it);
+    batch.clear();
+    for (std::size_t j = 0; j < k; ++j)
+      batch.push_back(space_.decode(searcher.propose(rng)));
+    loop.submit(batch);
+    it += k;
   }
-  result.iterations_run = options_.iterations;
-  result.finalists = top.take();
-  rerank_finalists(result, options_.reward, accurate);
-  return result;
 }
 
 }  // namespace yoso

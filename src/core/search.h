@@ -1,15 +1,29 @@
 #pragma once
-// The YOSO search driver (paper Fig 2, Steps 2-3) plus a random-search
-// driver with the identical interface for the Fig 6(a) comparison.
+// The YOSO search drivers (paper Fig 2, Steps 2-3).
 //
-// Step 2: the RL controller iterates — propose actions, decode to a
-// (DNN, accelerator) pair, score with the fast evaluator, feed the
-// multi-objective reward back through REINFORCE.
+// Step 2: a proposal strategy iterates — propose candidate designs, score
+// them with the fast evaluator, feed the multi-objective reward back.
 // Step 3: the top-N candidates by fast reward are re-scored with the
 // accurate evaluator (full training + cycle-level simulation) and the best
 // feasible one is the final solution.
+//
+// Every strategy (RL, random, and the evolutionary/BayesOpt drivers in
+// core/alt_search.h) extends SearchDriver: the base class owns the run()
+// pipeline — evaluator parallelism setup, the shared per-iteration
+// bookkeeping (finalist pool, best-reward tracking, trace sampling) via
+// SearchLoop, and the Step-3 rerank — while subclasses only implement the
+// proposal loop.
+//
+// Batched evaluation: strategies submit K candidates per round through
+// SearchLoop::submit(), which routes them to Evaluator::evaluate_batch()
+// (parallel + memoized for FastEvaluator) and then applies all bookkeeping
+// in proposal order.  Search output is therefore bit-identical across
+// thread counts; see DESIGN.md "Threading model".
 
+#include <limits>
 #include <optional>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "core/design_space.h"
@@ -36,6 +50,8 @@ struct SearchOptions {
   ControllerOptions controller;
   ReinforceOptions reinforce;
   std::uint64_t seed = 7;
+  std::size_t batch_size = 1;  ///< candidates proposed & evaluated per round
+  std::size_t threads = 1;     ///< evaluation workers (1 serial, 0 = all HW)
 };
 
 /// A reranked finalist.
@@ -52,43 +68,16 @@ struct SearchResult {
   std::vector<SearchTracePoint> trace;       ///< sampled iterations
   std::vector<RankedCandidate> finalists;    ///< top-N after reranking
   std::optional<RankedCandidate> best;       ///< best feasible finalist
-  double best_fast_reward = 0.0;
+  double best_fast_reward = -std::numeric_limits<double>::infinity();
   std::size_t iterations_run = 0;
 };
 
-class YosoSearch {
- public:
-  YosoSearch(const DesignSpace& space, SearchOptions options);
-
-  /// Runs Step 2 against `fast`, then Step 3 against `accurate`.
-  /// When `accurate` is null, finalists keep their fast scores.
-  SearchResult run(Evaluator& fast, Evaluator* accurate);
-
- private:
-  const DesignSpace& space_;
-  SearchOptions options_;
-};
-
-/// Uniform random search over the same space with the same bookkeeping.
-class RandomSearchDriver {
- public:
-  RandomSearchDriver(const DesignSpace& space, SearchOptions options);
-
-  SearchResult run(Evaluator& fast, Evaluator* accurate);
-
- private:
-  const DesignSpace& space_;
-  SearchOptions options_;
-};
-
-/// Shared Step-3 logic: rerank `finalists` (sorted by fast reward) with the
-/// accurate evaluator and mark the best feasible candidate.
-void rerank_finalists(SearchResult& result, const RewardParams& reward,
-                      Evaluator* accurate);
-
 /// Keeps the best-`capacity` *distinct* candidates seen so far, ranked by
 /// fast reward.  Shared by all search drivers (RL, random, evolutionary,
-/// Bayesian) so their Step-3 inputs are comparable.
+/// Bayesian) so their Step-3 inputs are comparable.  Dedupe is a hash-set
+/// lookup on the encoded candidate and the entry list stays sorted via
+/// binary-search insertion, so offer() costs O(log capacity) amortised
+/// instead of the old O(n) scan + full sort.
 class FinalistPool {
  public:
   explicit FinalistPool(std::size_t capacity) : capacity_(capacity) {}
@@ -101,7 +90,98 @@ class FinalistPool {
 
  private:
   std::size_t capacity_;
-  std::vector<RankedCandidate> entries_;
+  std::vector<RankedCandidate> entries_;   // sorted by fast_reward desc
+  std::unordered_set<std::string> seen_;   // keys of every offered design
 };
+
+/// The per-iteration bookkeeping every driver shares: batch evaluation via
+/// the evaluator's batched API, finalist offers, best-reward tracking and
+/// trace sampling — all applied in proposal order, so results do not depend
+/// on how the evaluator parallelizes internally.
+class SearchLoop {
+ public:
+  SearchLoop(const SearchOptions& options, Evaluator& fast,
+             SearchResult& result)
+      : options_(options),
+        fast_(fast),
+        result_(result),
+        pool_(options.top_n) {}
+
+  /// Evaluates `batch` and applies the bookkeeping for each candidate in
+  /// order; returns the per-candidate rewards.
+  std::vector<double> submit(std::span<const CandidateDesign> batch);
+
+  /// Single-candidate convenience for inherently sequential strategies.
+  double submit(const CandidateDesign& candidate);
+
+  std::size_t iterations_done() const { return iteration_; }
+  std::vector<RankedCandidate> take_finalists() { return pool_.take(); }
+
+ private:
+  const SearchOptions& options_;
+  Evaluator& fast_;
+  SearchResult& result_;
+  FinalistPool pool_;
+  std::size_t iteration_ = 0;
+};
+
+/// Abstract base every search strategy implements.  run() is the template
+/// method: it wires the evaluators' parallelism, drives the strategy's
+/// proposal loop against a SearchLoop, then reranks the finalists.
+class SearchDriver {
+ public:
+  SearchDriver(const DesignSpace& space, SearchOptions options)
+      : space_(space), options_(std::move(options)) {}
+  virtual ~SearchDriver() = default;
+
+  /// Runs Step 2 against `fast`, then Step 3 against `accurate`.
+  /// When `accurate` is null, finalists keep their fast scores.
+  SearchResult run(Evaluator& fast, Evaluator* accurate);
+
+  const SearchOptions& options() const { return options_; }
+
+ protected:
+  /// Strategy body: propose candidates and feed them through `loop` until
+  /// options().iterations have been submitted.  `rng` is seeded with
+  /// options().seed xor rng_salt().
+  virtual void search(SearchLoop& loop, Rng& rng) = 0;
+
+  /// Per-strategy RNG stream salt (keeps historical streams intact).
+  virtual std::uint64_t rng_salt() const = 0;
+
+  const DesignSpace& space_;
+  SearchOptions options_;
+};
+
+/// The paper's Step-2 driver: LSTM controller + REINFORCE.  Proposes
+/// options.batch_size episodes per round, evaluates the batch (in parallel
+/// when options.threads > 1), then applies feedback in proposal order.
+class YosoSearch : public SearchDriver {
+ public:
+  YosoSearch(const DesignSpace& space, SearchOptions options)
+      : SearchDriver(space, std::move(options)) {}
+
+ protected:
+  void search(SearchLoop& loop, Rng& rng) override;
+  std::uint64_t rng_salt() const override { return 0x5ca1ab1eull; }
+};
+
+/// Uniform random search over the same space with the same bookkeeping.
+class RandomSearchDriver : public SearchDriver {
+ public:
+  RandomSearchDriver(const DesignSpace& space, SearchOptions options)
+      : SearchDriver(space, std::move(options)) {}
+
+ protected:
+  void search(SearchLoop& loop, Rng& rng) override;
+  std::uint64_t rng_salt() const override { return 0xdecafull; }
+};
+
+/// Shared Step-3 logic: rerank `finalists` (sorted by fast reward) with the
+/// accurate evaluator and mark the best feasible candidate.  Finalists are
+/// scored through the evaluator's batched API, so a parallel accurate
+/// evaluator fans the rerank out across its pool.
+void rerank_finalists(SearchResult& result, const RewardParams& reward,
+                      Evaluator* accurate);
 
 }  // namespace yoso

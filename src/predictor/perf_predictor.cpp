@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "surrogate/accuracy_model.h"
+#include "util/thread_pool.h"
 
 namespace yoso {
 
@@ -44,24 +45,29 @@ std::vector<PerfSample> collect_samples(std::size_t count,
                                         const SystolicSimulator& simulator,
                                         const ConfigSpace& space,
                                         const NetworkSkeleton& skeleton,
-                                        Rng& rng) {
-  std::vector<PerfSample> samples;
-  samples.reserve(count);
+                                        Rng& rng, std::size_t threads) {
+  // Serial phase: all RNG draws, in the same per-sample order as the old
+  // fully-serial loop (genotype first, then the config actions).
+  std::vector<PerfSample> samples(count);
   for (std::size_t i = 0; i < count; ++i) {
-    PerfSample s;
+    PerfSample& s = samples[i];
     s.genotype = random_genotype(rng);
     std::vector<int> actions(ConfigSpace::kActionCount);
     for (int a = 0; a < ConfigSpace::kActionCount; ++a)
       actions[static_cast<std::size_t>(a)] =
           rng.uniform_int(0, space.cardinality(a) - 1);
     s.config = space.decode(actions);
+  }
+  // Parallel phase: simulation dominates collection cost and is read-only.
+  ThreadPool pool(ThreadPool::resolve_threads(threads) - 1);
+  pool.parallel_for(0, count, [&](std::size_t i) {
+    PerfSample& s = samples[i];
     const SimulationResult r =
         simulator.simulate_network(s.genotype, skeleton, s.config);
     s.energy_mj = r.energy_mj;
     s.latency_ms = r.latency_ms;
     s.features = codesign_features(s.genotype, s.config, skeleton);
-    samples.push_back(std::move(s));
-  }
+  });
   return samples;
 }
 

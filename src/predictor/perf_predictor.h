@@ -30,11 +30,14 @@ struct PerfSample {
 };
 
 /// Draws `count` uniform random (genotype, config) pairs and simulates them.
+/// The draws always consume `rng` on the calling thread in sample order;
+/// only the (read-only) simulation fans out across `threads` workers, so
+/// the returned set is identical at any thread count.
 std::vector<PerfSample> collect_samples(std::size_t count,
                                         const SystolicSimulator& simulator,
                                         const ConfigSpace& space,
                                         const NetworkSkeleton& skeleton,
-                                        Rng& rng);
+                                        Rng& rng, std::size_t threads = 1);
 
 /// Splits samples into feature matrix + target vectors.
 struct SampleMatrix {

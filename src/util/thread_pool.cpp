@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <limits>
+
+namespace yoso {
+
+struct ThreadPool::Job {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable finished;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::run_chunk(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.fn)(job.begin + i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        if (job.begin + i < job.error_index) {
+          job.error_index = job.begin + i;
+          job.error = std::current_exception();
+        }
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      job.finished.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job) run_chunk(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+
+  if (workers_.empty() || count == 1) {
+    // Inline: serial execution, exceptions propagate directly (the first
+    // throwing index is necessarily the lowest one).
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->count = count;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  run_chunk(*job);  // the caller is a worker too
+
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->finished.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace yoso

@@ -1,0 +1,66 @@
+#pragma once
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The batched evaluation engine (core/evaluator.h) fans read-only GP and
+// surrogate predictions out across cores; everything that must stay ordered
+// (REINFORCE feedback, finalist offers, trace sampling) happens on the
+// calling thread, so a pool with plain fork-join semantics is all we need:
+//
+//   ThreadPool pool(3);                       // 3 workers + the caller
+//   pool.parallel_for(0, n, [&](std::size_t i) { out[i] = f(in[i]); });
+//
+// parallel_for blocks until every index completed.  The calling thread
+// participates in the work, so ThreadPool(0) is valid and simply runs the
+// loop inline — callers never need a serial special case.  Exceptions thrown
+// by the body are captured and the one with the lowest index is rethrown on
+// the caller once the pool has drained.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace yoso {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads.  Zero is valid: parallel_for then runs on the
+  /// caller only.  A pool sized for a total of T compute threads is
+  /// ThreadPool(T - 1), since the caller always participates.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [begin, end) across the workers and the
+  /// calling thread; blocks until all indices are done.  If any invocation
+  /// throws, the remaining indices are drained without running the body and
+  /// the exception with the lowest index is rethrown on the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Maps a user-facing `threads` knob to a worker count for this machine:
+  /// 0 means "all hardware threads"; otherwise the request is honoured.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void run_chunk(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::shared_ptr<Job> job_;       // posted job; workers copy the pointer
+  std::uint64_t generation_ = 0;   // bumped per posted job
+  bool stop_ = false;
+};
+
+}  // namespace yoso

@@ -1,0 +1,223 @@
+// Batched/parallel evaluation engine: bit-identical results at any thread
+// count, memoization correctness, and the negative-reward regression on
+// SearchResult::best_fast_reward.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/alt_search.h"
+#include "core/search.h"
+
+namespace yoso {
+namespace {
+
+class ParallelSearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    space_ = new DesignSpace();
+    skeleton_ = new NetworkSkeleton(default_skeleton());
+    SystolicSimulator sim({}, SimFidelity::kAnalytical);
+    fast_ = new FastEvaluator(*space_, *skeleton_, sim,
+                              {.predictor_samples = 150, .seed = 9});
+    accurate_ = new AccurateEvaluator(
+        *skeleton_, SystolicSimulator({}, SimFidelity::kAnalytical));
+  }
+  static void TearDownTestSuite() {
+    delete accurate_;
+    delete fast_;
+    delete skeleton_;
+    delete space_;
+  }
+
+  static SearchOptions base_options() {
+    SearchOptions opt;
+    opt.iterations = 120;
+    opt.top_n = 5;
+    opt.trace_every = 10;
+    opt.reward = balanced_reward();
+    opt.seed = 13;
+    return opt;
+  }
+
+  static void expect_identical(const SearchResult& a, const SearchResult& b) {
+    EXPECT_DOUBLE_EQ(a.best_fast_reward, b.best_fast_reward);
+    EXPECT_EQ(a.iterations_run, b.iterations_run);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+      EXPECT_EQ(a.trace[i].iteration, b.trace[i].iteration);
+      EXPECT_DOUBLE_EQ(a.trace[i].reward, b.trace[i].reward);
+      EXPECT_TRUE(a.trace[i].candidate == b.trace[i].candidate) << "trace " << i;
+    }
+    ASSERT_EQ(a.finalists.size(), b.finalists.size());
+    for (std::size_t i = 0; i < a.finalists.size(); ++i) {
+      EXPECT_TRUE(a.finalists[i].candidate == b.finalists[i].candidate)
+          << "finalist " << i;
+      EXPECT_DOUBLE_EQ(a.finalists[i].fast_reward, b.finalists[i].fast_reward);
+      EXPECT_DOUBLE_EQ(a.finalists[i].accurate_reward,
+                       b.finalists[i].accurate_reward);
+    }
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best) {
+      EXPECT_TRUE(a.best->candidate == b.best->candidate);
+    }
+  }
+
+  static DesignSpace* space_;
+  static NetworkSkeleton* skeleton_;
+  static FastEvaluator* fast_;
+  static AccurateEvaluator* accurate_;
+};
+
+DesignSpace* ParallelSearchTest::space_ = nullptr;
+NetworkSkeleton* ParallelSearchTest::skeleton_ = nullptr;
+FastEvaluator* ParallelSearchTest::fast_ = nullptr;
+AccurateEvaluator* ParallelSearchTest::accurate_ = nullptr;
+
+TEST_F(ParallelSearchTest, BatchMatchesSerialEvaluation) {
+  Rng rng(4);
+  std::vector<CandidateDesign> batch;
+  for (int i = 0; i < 30; ++i) batch.push_back(space_->random_candidate(rng));
+  batch.push_back(batch[2]);  // in-batch revisits exercise the memo path
+  batch.push_back(batch[7]);
+  for (std::size_t threads : {1u, 3u}) {
+    fast_->set_parallelism(threads);
+    fast_->clear_cache();
+    const std::vector<EvalResult> results = fast_->evaluate_batch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const EvalResult serial = fast_->evaluate(batch[i]);
+      EXPECT_DOUBLE_EQ(results[i].accuracy, serial.accuracy) << i;
+      EXPECT_DOUBLE_EQ(results[i].latency_ms, serial.latency_ms) << i;
+      EXPECT_DOUBLE_EQ(results[i].energy_mj, serial.energy_mj) << i;
+    }
+  }
+}
+
+TEST_F(ParallelSearchTest, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(fast_->evaluate_batch({}).empty());
+  EXPECT_TRUE(accurate_->evaluate_batch({}).empty());
+}
+
+TEST_F(ParallelSearchTest, MemoizationCachesDistinctDesigns) {
+  fast_->set_parallelism(2);
+  fast_->clear_cache();
+  Rng rng(6);
+  std::vector<CandidateDesign> unique;
+  for (int i = 0; i < 10; ++i)
+    unique.push_back(space_->random_candidate(rng));
+  std::vector<CandidateDesign> batch = unique;  // every design twice
+  batch.insert(batch.end(), unique.begin(), unique.end());
+  fast_->evaluate_batch(batch);
+  EXPECT_EQ(fast_->cache_size(), 10u);
+  fast_->evaluate_batch(batch);  // pure cache hits
+  EXPECT_EQ(fast_->cache_size(), 10u);
+}
+
+TEST_F(ParallelSearchTest, YosoSearchIdenticalAcrossThreadCounts) {
+  SearchOptions opt = base_options();
+  opt.batch_size = 8;
+  opt.threads = 1;
+  fast_->clear_cache();
+  const SearchResult r1 = YosoSearch(*space_, opt).run(*fast_, accurate_);
+  opt.threads = 2;
+  fast_->clear_cache();
+  const SearchResult r2 = YosoSearch(*space_, opt).run(*fast_, accurate_);
+  opt.threads = 8;
+  fast_->clear_cache();
+  const SearchResult r8 = YosoSearch(*space_, opt).run(*fast_, accurate_);
+  expect_identical(r1, r2);
+  expect_identical(r1, r8);
+}
+
+TEST_F(ParallelSearchTest, RandomSearchIdenticalAcrossThreadsAndBatches) {
+  SearchOptions opt = base_options();
+  opt.batch_size = 1;
+  opt.threads = 1;
+  fast_->clear_cache();
+  const SearchResult serial =
+      RandomSearchDriver(*space_, opt).run(*fast_, nullptr);
+  // Random proposals are feedback-free, so even the batch size must not
+  // change the outcome — only the evaluation schedule.
+  opt.batch_size = 16;
+  opt.threads = 4;
+  fast_->clear_cache();
+  const SearchResult batched =
+      RandomSearchDriver(*space_, opt).run(*fast_, nullptr);
+  expect_identical(serial, batched);
+}
+
+TEST_F(ParallelSearchTest, BatchSizeOneMatchesLegacySerialLoop) {
+  // batch_size = 1 must reproduce the pre-batching proposal/feedback
+  // interleaving exactly, whatever the thread count.
+  SearchOptions opt = base_options();
+  opt.batch_size = 1;
+  opt.threads = 1;
+  fast_->clear_cache();
+  const SearchResult a = YosoSearch(*space_, opt).run(*fast_, nullptr);
+  opt.threads = 4;
+  fast_->clear_cache();
+  const SearchResult b = YosoSearch(*space_, opt).run(*fast_, nullptr);
+  expect_identical(a, b);
+}
+
+TEST_F(ParallelSearchTest, AltDriversRunThroughSharedBase) {
+  SearchOptions opt = base_options();
+  opt.iterations = 60;
+  opt.threads = 2;
+  const SearchResult evo =
+      EvolutionarySearch(*space_, opt).run(*fast_, accurate_);
+  EXPECT_EQ(evo.iterations_run, 60u);
+  ASSERT_TRUE(evo.best.has_value());
+  BayesOptOptions bopt;
+  bopt.initial_random = 15;
+  bopt.acquisition_pool = 8;
+  const SearchResult bo =
+      BayesOptSearch(*space_, opt, bopt).run(*fast_, accurate_);
+  EXPECT_EQ(bo.iterations_run, 60u);
+  ASSERT_TRUE(bo.best.has_value());
+}
+
+// ---------------------------------------------------------------- bugfix
+
+/// Evaluator whose reward is negative for every candidate under a
+/// penalty-heavy Eq. 2 parametrisation.
+class FixedEvaluator : public Evaluator {
+ public:
+  explicit FixedEvaluator(EvalResult r) : result_(r) {}
+  EvalResult evaluate(const CandidateDesign&) override { return result_; }
+
+ private:
+  EvalResult result_;
+};
+
+TEST(BestFastReward, ReportsNegativeBestInsteadOfZero) {
+  // Large penalty terms make every reward negative; the old 0.0-initialised
+  // best_fast_reward silently reported 0 here.
+  RewardParams reward = balanced_reward();
+  reward.alpha_lat = -4.0;  // pure-penalty latency term
+  reward.alpha_eer = -4.0;
+  FixedEvaluator fixed({0.5, 2.0, 18.0});
+  const double expected = reward.compute({0.5, 2.0, 18.0});
+  ASSERT_LT(expected, 0.0);
+
+  DesignSpace space;
+  SearchOptions opt;
+  opt.iterations = 20;
+  opt.top_n = 3;
+  opt.reward = reward;
+  opt.seed = 3;
+  const SearchResult r = RandomSearchDriver(space, opt).run(fixed, nullptr);
+  EXPECT_DOUBLE_EQ(r.best_fast_reward, expected);
+  EXPECT_LT(r.best_fast_reward, 0.0);
+}
+
+TEST(BestFastReward, DefaultIsMinusInfinity) {
+  const SearchResult r;
+  EXPECT_TRUE(std::isinf(r.best_fast_reward));
+  EXPECT_LT(r.best_fast_reward, 0.0);
+}
+
+}  // namespace
+}  // namespace yoso

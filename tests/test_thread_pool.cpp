@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace yoso {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RespectsBeginOffset) {
+  ThreadPool pool(2);
+  std::vector<int> marked(20, 0);
+  pool.parallel_for(5, 15, [&](std::size_t i) { marked[i] = 1; });
+  for (std::size_t i = 0; i < marked.size(); ++i)
+    EXPECT_EQ(marked[i], (i >= 5 && i < 15) ? 1 : 0) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::vector<int> out(64, 0);
+  pool.parallel_for(0, out.size(),
+                    [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 0, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 7, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(9, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 200, [&](std::size_t i) {
+      if (i % 50 == 3) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Index 3 throws and is always claimed before the pool drains; higher
+    // throwing indices (53, 103, ...) may be skipped but must never win.
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+TEST(ThreadPool, InlineExceptionPropagates) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 4)
+                                     throw std::invalid_argument("inline");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, UsableAgainAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 32, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10,
+                    [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 17, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 17);
+  }
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(4), 4u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);  // all hardware threads
+}
+
+}  // namespace
+}  // namespace yoso
