@@ -1,0 +1,24 @@
+# Runs yoso_cli with the same seed at two thread counts and fails unless the
+# finalist CSVs are bit-identical.  Guards the DESIGN.md §9 promise at the CLI
+# layer: no default (batch size included) may be derived from --threads.
+foreach(threads 1 3)
+  execute_process(
+    COMMAND ${YOSO_CLI}
+      --iterations 40 --samples 80 --seed 21 --threads ${threads}
+      --finalists ${WORK_DIR}/finalists_t${threads}.csv
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "yoso_cli --threads ${threads} exited with ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/finalists_t1.csv ${WORK_DIR}/finalists_t3.csv
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "finalists differ between --threads 1 and --threads 3 for the same seed; "
+    "a CLI default is leaking the thread count into the search trajectory")
+endif()

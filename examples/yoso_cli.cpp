@@ -12,7 +12,7 @@
 //   --samples    N   (GP training samples, Step 1)      [500]
 //   --top-n      N   (finalists for Step-3 rerank)      [10]
 //   --threads    N   (evaluation workers, 0 = all HW)   [1]
-//   --batch      N   (candidates evaluated per round)   [threads]
+//   --batch      N   (candidates evaluated per round)   [8]
 //   --seed       N                                      [7]
 //   --t-lat      X   latency threshold, ms              [1.2]
 //   --t-eer      X   energy threshold, mJ               [9.0]
@@ -47,7 +47,11 @@ struct CliOptions {
   std::size_t samples = 500;
   std::size_t top_n = 10;
   std::size_t threads = 1;
-  std::size_t batch = 0;  // 0: follow the resolved thread count
+  // Fixed default, deliberately NOT derived from --threads: the search
+  // trajectory depends on batch_size, so a thread-following default would
+  // make --threads change the results and break the bit-identical promise
+  // (DESIGN.md §9).
+  std::size_t batch = 8;
   std::uint64_t seed = 7;
   double t_lat = 1.2;
   double t_eer = 9.0;
@@ -80,7 +84,10 @@ CliOptions parse_args(int argc, char** argv) {
       else if (key == "samples") opt.samples = std::stoul(value);
       else if (key == "top-n") opt.top_n = std::stoul(value);
       else if (key == "threads") opt.threads = std::stoul(value);
-      else if (key == "batch") opt.batch = std::stoul(value);
+      else if (key == "batch") {
+        opt.batch = std::stoul(value);
+        if (opt.batch == 0) usage_error("--batch must be >= 1");
+      }
       else if (key == "seed") opt.seed = std::stoull(value);
       else if (key == "t-lat") opt.t_lat = std::stod(value);
       else if (key == "t-eer") opt.t_eer = std::stod(value);
@@ -131,7 +138,7 @@ int main(int argc, char** argv) {
   options.reward = pick_reward(cli);
   options.seed = cli.seed;
   options.threads = threads;
-  options.batch_size = cli.batch == 0 ? threads : cli.batch;
+  options.batch_size = cli.batch;
 
   std::cout << "[2/3] running " << cli.searcher << " search ("
             << cli.iterations << " iterations, "

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Full local correctness gate — the same sequence CI runs.
+#
+#   ./scripts/check.sh           # everything: -Werror build, ctest, lint,
+#                                # ASan+UBSan ctest
+#   ./scripts/check.sh --fast    # skip the sanitizer stage
+#   ./scripts/check.sh --tsan    # additionally run the TSan stage
+#
+# Build trees are kept under build-check-* so the developer's own build/ is
+# never clobbered.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+FAST=0
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --tsan) TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "1/4 configure + build (-Werror) and unit tests"
+cmake -B build-check -S . -DYOSO_WERROR=ON
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check -j "$JOBS" --output-on-failure
+
+step "2/4 yoso-lint (tree + self-test + standalone headers)"
+cmake --build build-check --target lint
+
+if [ "$FAST" -eq 1 ]; then
+  step "skipping sanitizer stages (--fast)"
+else
+  step "3/4 ASan+UBSan build and unit tests"
+  cmake -B build-check-asan -S . -DYOSO_SANITIZE=address,undefined
+  cmake --build build-check-asan -j "$JOBS"
+  ctest --test-dir build-check-asan -j "$JOBS" --output-on-failure
+
+  if [ "$TSAN" -eq 1 ]; then
+    step "4/4 TSan build and threaded tests (--tsan)"
+    cmake -B build-check-tsan -S . -DYOSO_SANITIZE=thread
+    cmake --build build-check-tsan -j "$JOBS"
+    # The threaded surfaces: pool, batched evaluator, parallel drivers.
+    ctest --test-dir build-check-tsan -j "$JOBS" --output-on-failure \
+      -R 'ThreadPool|Parallel|Evaluator|Batch'
+  else
+    step "4/4 TSan stage skipped (pass --tsan to enable)"
+  fi
+fi
+
+printf '\nAll checks passed.\n'

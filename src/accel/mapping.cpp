@@ -100,7 +100,7 @@ DramTraffic dram_traffic(Dataflow df, bool depthwise, double i_bytes,
                                  w_bytes};
       const DramTraffic os_rs = {o_bytes + i_bytes * half(n_co) +
                                      w_bytes * half(n_h),
-                                 static_cast<double>(w_bytes * half(n_h))};
+                                 w_bytes * half(n_h)};
       return ws_rs.total <= os_rs.total ? ws_rs : os_rs;
     }
     case Dataflow::kNoLocalReuse:

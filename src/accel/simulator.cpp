@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/contract.h"
 
 namespace yoso {
 
@@ -78,8 +79,10 @@ double SystolicSimulator::cycle_level_cycles(const Layer& layer,
 SimulationResult SystolicSimulator::simulate(
     const std::vector<Layer>& layers, const AcceleratorConfig& config,
     int batch) const {
-  if (batch < 1)
-    throw std::invalid_argument("SystolicSimulator::simulate: batch < 1");
+  YOSO_REQUIRE(batch >= 1, "SystolicSimulator::simulate: batch=", batch);
+  YOSO_REQUIRE(config.pe_rows > 0 && config.pe_cols > 0,
+               "SystolicSimulator::simulate: degenerate array ",
+               config.pe_rows, "x", config.pe_cols);
   SimulationResult result;
   result.batch = batch;
   const double e_gbuf = tech_.gbuf_energy_per_byte(config.g_buf_kb);
@@ -91,6 +94,16 @@ SimulationResult SystolicSimulator::simulate(
   for (const Layer& layer : layers) {
     LayerSimResult lr;
     lr.mapping = map_layer(layer, config, tech_);
+    // Mapping bounds: a tile that escapes the layer extents or collapses to
+    // zero would make the traffic model read garbage reuse factors.
+    const TileChoice& t = lr.mapping.tile;
+    YOSO_CHECK(t.t_co >= 1 && t.t_ci >= 1 && t.t_h >= 1 &&
+                   t.t_co <= std::max(layer.out_c, 1) &&
+                   t.t_ci <= std::max(layer.in_c, 1) &&
+                   t.t_h <= std::max(layer.out_h(), 1),
+               "SystolicSimulator::simulate: tile (", t.t_co, ",", t.t_ci,
+               ",", t.t_h, ") out of bounds for layer out_c=", layer.out_c,
+               " in_c=", layer.in_c, " out_h=", layer.out_h());
     const double image_cycles =
         fidelity_ == SimFidelity::kCycleLevel
             ? cycle_level_cycles(layer, lr.mapping, config)

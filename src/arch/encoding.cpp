@@ -1,6 +1,6 @@
 #include "arch/encoding.h"
 
-#include <stdexcept>
+#include "util/contract.h"
 
 namespace yoso {
 
@@ -54,8 +54,8 @@ std::vector<ActionStep> dnn_action_steps() {
 
 std::vector<int> encode_genotype(const Genotype& g) {
   std::string error;
-  if (!validate_genotype(g, &error))
-    throw std::invalid_argument("encode_genotype: invalid genotype: " + error);
+  YOSO_REQUIRE(validate_genotype(g, &error),
+               "encode_genotype: invalid genotype: ", error);
   std::vector<int> actions;
   actions.reserve(kDnnActionCount);
   append_cell_actions(actions, g.normal);
@@ -64,27 +64,23 @@ std::vector<int> encode_genotype(const Genotype& g) {
 }
 
 Genotype decode_genotype(std::span<const int> actions) {
-  if (actions.size() != static_cast<std::size_t>(kDnnActionCount))
-    throw std::invalid_argument("decode_genotype: expected " +
-                                std::to_string(kDnnActionCount) +
-                                " actions, got " +
-                                std::to_string(actions.size()));
+  YOSO_REQUIRE(actions.size() == static_cast<std::size_t>(kDnnActionCount),
+               "decode_genotype: expected ", kDnnActionCount,
+               " actions, got ", actions.size());
   const auto steps = dnn_action_steps();
   for (std::size_t i = 0; i < steps.size(); ++i) {
-    if (actions[i] < 0 || actions[i] >= steps[i].cardinality)
-      throw std::invalid_argument("decode_genotype: action " +
-                                  std::to_string(i) + " (" + steps[i].name +
-                                  ") out of range: " +
-                                  std::to_string(actions[i]));
+    YOSO_REQUIRE(actions[i] >= 0 && actions[i] < steps[i].cardinality,
+                 "decode_genotype: action ", i, " (", steps[i].name,
+                 ") out of range: ", actions[i], " not in [0, ",
+                 steps[i].cardinality, ")");
   }
   Genotype g;
   g.normal = decode_cell(actions, 0);
   g.reduction =
       decode_cell(actions, static_cast<std::size_t>(kInteriorNodes) * 4);
   std::string error;
-  if (!validate_genotype(g, &error))
-    throw std::invalid_argument("decode_genotype: decoded invalid genotype: " +
-                                error);
+  YOSO_REQUIRE(validate_genotype(g, &error),
+               "decode_genotype: decoded invalid genotype: ", error);
   return g;
 }
 

@@ -2,18 +2,29 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/contract.h"
 
 namespace yoso {
 
 double RewardParams::compute(const EvalResult& r) const {
-  if (r.latency_ms <= 0.0 || r.energy_mj <= 0.0)
-    throw std::invalid_argument("RewardParams::compute: non-positive perf");
+  YOSO_REQUIRE(r.latency_ms > 0.0 && r.energy_mj > 0.0,
+               "RewardParams::compute: non-positive perf (latency_ms=",
+               r.latency_ms, ", energy_mj=", r.energy_mj, ")");
+  YOSO_REQUIRE(std::isfinite(r.accuracy),
+               "RewardParams::compute: non-finite accuracy ", r.accuracy);
   const double lat_term =
       alpha_lat * std::pow(r.latency_ms / t_lat_ms, omega_lat);
   const double eer_term =
       alpha_eer * std::pow(r.energy_mj / t_eer_mj, omega_eer);
-  return r.accuracy + lat_term + eer_term;
+  const double reward = r.accuracy + lat_term + eer_term;
+  // A non-finite reward silently corrupts REINFORCE baselines and the
+  // finalist pool ordering; fail loudly at the source instead.
+  YOSO_CHECK(std::isfinite(reward),
+             "RewardParams::compute: non-finite reward (lat_term=", lat_term,
+             ", eer_term=", eer_term, ", accuracy=", r.accuracy, ") for ",
+             to_string());
+  return reward;
 }
 
 bool RewardParams::feasible(const EvalResult& r) const {

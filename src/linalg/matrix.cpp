@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace yoso {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -19,8 +21,8 @@ Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
   const std::size_t cols = rows.front().size();
   Matrix m(rows.size(), cols);
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    if (rows[r].size() != cols)
-      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    YOSO_REQUIRE(rows[r].size() == cols, "Matrix::from_rows: row ", r,
+                 " has ", rows[r].size(), " columns, expected ", cols);
     for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
   }
   return m;
@@ -34,8 +36,8 @@ Matrix Matrix::transpose() const {
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
-  if (cols_ != rhs.rows_)
-    throw std::invalid_argument("Matrix::operator*: dimension mismatch");
+  YOSO_REQUIRE(cols_ == rhs.rows_, "Matrix::operator*: ", rows_, "x", cols_,
+               " * ", rhs.rows_, "x", rhs.cols_);
   Matrix out(rows_, rhs.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
@@ -55,16 +57,18 @@ Matrix Matrix::operator+(const Matrix& rhs) const {
 }
 
 Matrix Matrix::operator-(const Matrix& rhs) const {
-  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
-    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  YOSO_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "Matrix::operator-: ", rows_, "x", cols_, " - ", rhs.rows_,
+               "x", rhs.cols_);
   Matrix out = *this;
   for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
   return out;
 }
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
-  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
-    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  YOSO_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "Matrix::operator+=: ", rows_, "x", cols_, " += ", rhs.rows_,
+               "x", rhs.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
   return *this;
 }
@@ -76,8 +80,8 @@ Matrix Matrix::scaled(double s) const {
 }
 
 std::vector<double> Matrix::matvec(std::span<const double> x) const {
-  if (x.size() != cols_)
-    throw std::invalid_argument("Matrix::matvec: dimension mismatch");
+  YOSO_REQUIRE(x.size() == cols_, "Matrix::matvec: x has ", x.size(),
+               " entries, matrix is ", rows_, "x", cols_);
   std::vector<double> y(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
@@ -89,8 +93,8 @@ std::vector<double> Matrix::matvec(std::span<const double> x) const {
 }
 
 std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
-  if (x.size() != rows_)
-    throw std::invalid_argument("Matrix::matvec_transposed: dimension mismatch");
+  YOSO_REQUIRE(x.size() == rows_, "Matrix::matvec_transposed: x has ",
+               x.size(), " entries, matrix is ", rows_, "x", cols_);
   std::vector<double> y(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
@@ -107,8 +111,8 @@ void Matrix::add_diagonal(double v) {
 }
 
 Cholesky::Cholesky(const Matrix& a, double jitter) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("Cholesky: matrix not square");
+  YOSO_REQUIRE(a.rows() == a.cols(), "Cholesky: matrix not square (",
+               a.rows(), "x", a.cols(), ")");
   const std::size_t n = a.rows();
   // Progressive jitter: retry with 10x larger diagonal boost on failure.
   double eps = 0.0;
@@ -138,8 +142,8 @@ Cholesky::Cholesky(const Matrix& a, double jitter) {
 
 std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
   const std::size_t n = l_.rows();
-  if (b.size() != n)
-    throw std::invalid_argument("Cholesky::solve_lower: size mismatch");
+  YOSO_REQUIRE(b.size() == n, "Cholesky::solve_lower: b has ", b.size(),
+               " entries, factor is ", n, "x", n);
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[i];
@@ -152,9 +156,8 @@ std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
 std::vector<double> Cholesky::solve_lower_transposed(
     std::span<const double> y) const {
   const std::size_t n = l_.rows();
-  if (y.size() != n)
-    throw std::invalid_argument(
-        "Cholesky::solve_lower_transposed: size mismatch");
+  YOSO_REQUIRE(y.size() == n, "Cholesky::solve_lower_transposed: y has ",
+               y.size(), " entries, factor is ", n, "x", n);
   std::vector<double> x(n);
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
@@ -177,8 +180,8 @@ double Cholesky::log_determinant() const {
 
 std::vector<double> ridge_solve(const Matrix& x, std::span<const double> y,
                                 double lambda) {
-  if (x.rows() != y.size())
-    throw std::invalid_argument("ridge_solve: row count mismatch");
+  YOSO_REQUIRE(x.rows() == y.size(), "ridge_solve: x has ", x.rows(),
+               " rows but y has ", y.size(), " targets");
   Matrix xtx = x.transpose() * x;
   xtx.add_diagonal(lambda);
   const std::vector<double> xty = x.matvec_transposed(y);
@@ -189,15 +192,16 @@ std::vector<double> ridge_solve(const Matrix& x, std::span<const double> y,
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  YOSO_REQUIRE(a.size() == b.size(), "dot: sizes ", a.size(), " vs ",
+               b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
 }
 
 double squared_distance(std::span<const double> a, std::span<const double> b) {
-  if (a.size() != b.size())
-    throw std::invalid_argument("squared_distance: size mismatch");
+  YOSO_REQUIRE(a.size() == b.size(), "squared_distance: sizes ", a.size(),
+               " vs ", b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];

@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
 
+#include "util/contract.h"
 #include "util/stats.h"
 
 namespace yoso {
@@ -36,8 +36,9 @@ double GpRegressor::fit_once(const Matrix& xs, std::span<const double> yc) {
 }
 
 void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
-  if (x.rows() != y.size() || x.rows() == 0)
-    throw std::invalid_argument("GpRegressor::fit: bad shapes");
+  YOSO_REQUIRE(x.rows() == y.size() && x.rows() > 0,
+               "GpRegressor::fit: design matrix is ", x.rows(), "x", x.cols(),
+               " but y has ", y.size(), " targets");
   scaler_.fit(x);
   train_x_ = scaler_.transform(x);
 
@@ -78,7 +79,10 @@ void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
 }
 
 double GpRegressor::predict(std::span<const double> x) const {
-  if (alpha_.empty()) throw std::logic_error("GpRegressor: not fitted");
+  YOSO_REQUIRE(!alpha_.empty(), "GpRegressor::predict: not fitted");
+  YOSO_REQUIRE(x.size() == train_x_.cols(),
+               "GpRegressor::predict: feature dimension ", x.size(),
+               " != fitted dimension ", train_x_.cols());
   // Mean-only prediction is O(n d) — no triangular solve.
   const auto xs = scaler_.transform_row(x);
   double mu = y_mean_;
@@ -89,7 +93,10 @@ double GpRegressor::predict(std::span<const double> x) const {
 
 std::pair<double, double> GpRegressor::predict_with_variance(
     std::span<const double> x) const {
-  if (alpha_.empty()) throw std::logic_error("GpRegressor: not fitted");
+  YOSO_REQUIRE(!alpha_.empty(), "GpRegressor::predict_with_variance: not fitted");
+  YOSO_REQUIRE(x.size() == train_x_.cols(),
+               "GpRegressor::predict_with_variance: feature dimension ",
+               x.size(), " != fitted dimension ", train_x_.cols());
   const auto xs = scaler_.transform_row(x);
   const std::size_t n = train_x_.rows();
   std::vector<double> kstar(n);

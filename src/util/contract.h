@@ -1,0 +1,109 @@
+#pragma once
+// Runtime contract checking for YOSO's public entry points.
+//
+// The fast evaluator's trustworthiness (<4 % error vs the cycle-level
+// simulator) and the search's reproducibility both die silently when a
+// precondition is violated — an out-of-bounds mapping, a dimension-mismatched
+// GP update, a NaN reward term.  These macros turn such violations into a
+// thrown yoso::ContractViolation carrying the failed expression, source
+// location and a formatted context message, instead of undefined behaviour.
+//
+// Policy (DESIGN.md §10):
+//   YOSO_REQUIRE(cond, msg...)  precondition at an API boundary.  Always
+//                               checked, in every build type.
+//   YOSO_CHECK(cond, msg...)    internal invariant worth keeping in Release
+//                               (cheap relative to the code it guards).
+//   YOSO_DCHECK(cond, msg...)   inner-loop invariant; compiled out unless
+//                               NDEBUG is undefined (Debug builds) or
+//                               YOSO_ENABLE_DCHECKS is defined.
+//
+// The message arguments are streamed (`YOSO_REQUIRE(i < n, "i=", i, " n=", n)`)
+// and are only evaluated when the condition fails.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace yoso {
+
+/// Thrown when a YOSO_REQUIRE / YOSO_CHECK / YOSO_DCHECK condition fails.
+/// Derives from std::invalid_argument so call sites that predate the
+/// contract layer and catch std::invalid_argument / std::logic_error keep
+/// working unchanged.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(std::string expression, std::string file, int line,
+                    std::string message)
+      : std::invalid_argument(format(expression, file, line, message)),
+        expression_(std::move(expression)),
+        file_(std::move(file)),
+        line_(line),
+        message_(std::move(message)) {}
+
+  const std::string& expression() const { return expression_; }
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  /// The formatted context message (empty when none was supplied).
+  const std::string& message() const { return message_; }
+
+ private:
+  static std::string format(const std::string& expression,
+                            const std::string& file, int line,
+                            const std::string& message) {
+    std::ostringstream os;
+    os << "contract violation: (" << expression << ") at " << file << ":"
+       << line;
+    if (!message.empty()) os << " — " << message;
+    return os.str();
+  }
+
+  std::string expression_;
+  std::string file_;
+  int line_;
+  std::string message_;
+};
+
+namespace detail {
+
+inline std::string contract_message() { return {}; }
+
+template <typename... Args>
+std::string contract_message(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+[[noreturn]] inline void contract_fail(const char* expression,
+                                       const char* file, int line,
+                                       std::string message) {
+  throw ContractViolation(expression, file, line, std::move(message));
+}
+
+}  // namespace detail
+}  // namespace yoso
+
+/// Precondition at a public API boundary; always checked.
+#define YOSO_REQUIRE(cond, ...)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::yoso::detail::contract_fail(                                  \
+          #cond, __FILE__, __LINE__,                                  \
+          ::yoso::detail::contract_message(__VA_ARGS__));             \
+    }                                                                 \
+  } while (false)
+
+/// Internal invariant kept in Release builds.
+#define YOSO_CHECK(cond, ...) YOSO_REQUIRE(cond, __VA_ARGS__)
+
+/// Inner-loop invariant; a no-op in optimised builds (NDEBUG) unless
+/// YOSO_ENABLE_DCHECKS is defined.  The condition is not evaluated when
+/// disabled, so it may be arbitrarily expensive.
+#if !defined(NDEBUG) || defined(YOSO_ENABLE_DCHECKS)
+#define YOSO_DCHECK(cond, ...) YOSO_REQUIRE(cond, __VA_ARGS__)
+#else
+#define YOSO_DCHECK(cond, ...) \
+  do {                         \
+  } while (false)
+#endif

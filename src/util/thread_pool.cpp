@@ -3,6 +3,8 @@
 #include <atomic>
 #include <limits>
 
+#include "util/contract.h"
+
 namespace yoso {
 
 struct ThreadPool::Job {
@@ -79,7 +81,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
-  if (end <= begin) return;
+  YOSO_REQUIRE(static_cast<bool>(fn), "ThreadPool::parallel_for: empty fn");
+  YOSO_REQUIRE(begin <= end, "ThreadPool::parallel_for: reversed range [",
+               begin, ", ", end, ")");
+  if (end == begin) return;
   const std::size_t count = end - begin;
 
   if (workers_.empty() || count == 1) {
@@ -88,6 +93,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+
+  // Nested parallel_for on the same pool would overwrite job_ while workers
+  // still drain the outer job — a deadlock in the outer wait.  The fork-join
+  // design has exactly one coordinator, so posting is mutually exclusive.
+  YOSO_REQUIRE(!busy_.exchange(true, std::memory_order_acquire),
+               "ThreadPool::parallel_for: re-entrant call (the pool is "
+               "already running a job; nest work in the body instead)");
 
   auto job = std::make_shared<Job>();
   job->begin = begin;
@@ -112,6 +124,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = nullptr;
   }
+  busy_.store(false, std::memory_order_release);
   if (job->error) std::rethrow_exception(job->error);
 }
 

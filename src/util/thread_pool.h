@@ -15,6 +15,7 @@
 // by the body are captured and the one with the lowest index is rethrown on
 // the caller once the pool has drained.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -42,6 +43,8 @@ class ThreadPool {
   /// calling thread; blocks until all indices are done.  If any invocation
   /// throws, the remaining indices are drained without running the body and
   /// the exception with the lowest index is rethrown on the caller.
+  /// Preconditions (ContractViolation otherwise): fn is callable,
+  /// begin <= end, and no other parallel_for is in flight on this pool.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -61,6 +64,7 @@ class ThreadPool {
   std::shared_ptr<Job> job_;       // posted job; workers copy the pointer
   std::uint64_t generation_ = 0;   // bumped per posted job
   bool stop_ = false;
+  std::atomic<bool> busy_{false};  // detects re-entrant parallel_for
 };
 
 }  // namespace yoso

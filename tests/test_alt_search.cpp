@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cmath>
 
 namespace yoso {
@@ -10,15 +12,15 @@ namespace {
 class AltSearchTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    space_ = new DesignSpace();
+    space_ = std::make_unique<DesignSpace>();
     const NetworkSkeleton skeleton = default_skeleton();
     SystolicSimulator sim({}, SimFidelity::kAnalytical);
-    fast_ = new FastEvaluator(*space_, skeleton, sim,
-                              {.predictor_samples = 150, .seed = 77});
+    fast_ = std::make_unique<FastEvaluator>(*space_, skeleton, sim,
+                              FastEvaluatorOptions{.predictor_samples = 150, .seed = 77});
   }
   static void TearDownTestSuite() {
-    delete fast_;
-    delete space_;
+    fast_.reset();
+    space_.reset();
   }
 
   static SearchOptions options(std::size_t iters, std::uint64_t seed = 5) {
@@ -31,12 +33,12 @@ class AltSearchTest : public ::testing::Test {
     return opt;
   }
 
-  static DesignSpace* space_;
-  static FastEvaluator* fast_;
+  static std::unique_ptr<DesignSpace> space_;
+  static std::unique_ptr<FastEvaluator> fast_;
 };
 
-DesignSpace* AltSearchTest::space_ = nullptr;
-FastEvaluator* AltSearchTest::fast_ = nullptr;
+std::unique_ptr<DesignSpace> AltSearchTest::space_;
+std::unique_ptr<FastEvaluator> AltSearchTest::fast_;
 
 TEST(ExpectedImprovement, KnownValues) {
   // Zero variance, mu below best -> 0 improvement.

@@ -1,0 +1,133 @@
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/zoo.h"
+#include "core/reward.h"
+#include "predictor/gp.h"
+
+namespace yoso {
+namespace {
+
+TEST(Contract, RequirePassesSilently) {
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return std::string("ctx");
+  };
+  YOSO_REQUIRE(1 + 1 == 2, "never built: ", count());
+  // Message arguments must not be evaluated on the passing path.
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contract, ViolationCarriesStructuredContext) {
+  try {
+    YOSO_REQUIRE(2 < 1, "got ", 42, " while expecting < ", 1);
+    FAIL() << "YOSO_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.expression(), "2 < 1");
+    EXPECT_NE(e.file().find("test_contract.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    EXPECT_EQ(e.message(), "got 42 while expecting < 1");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(2 < 1)"), std::string::npos);
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos);
+    EXPECT_NE(what.find("got 42 while expecting < 1"), std::string::npos);
+  }
+}
+
+TEST(Contract, MessageIsOptional) {
+  try {
+    YOSO_CHECK(false);
+    FAIL() << "YOSO_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_TRUE(e.message().empty());
+    EXPECT_NE(std::string(e.what()).find("contract violation"),
+              std::string::npos);
+  }
+}
+
+TEST(Contract, ViolationIsCatchableAsInvalidArgument) {
+  // Pre-contract call sites catch std::invalid_argument / std::logic_error;
+  // the hierarchy keeps both working.
+  EXPECT_THROW(YOSO_REQUIRE(false, "compat"), std::invalid_argument);
+  EXPECT_THROW(YOSO_REQUIRE(false, "compat"), std::logic_error);
+}
+
+TEST(Contract, DcheckMatchesBuildType) {
+#if !defined(NDEBUG) || defined(YOSO_ENABLE_DCHECKS)
+  EXPECT_THROW(YOSO_DCHECK(false, "debug build checks"), ContractViolation);
+#else
+  // Release: compiled out entirely — the condition must not even run.
+  int evaluations = 0;
+  // The macro discards its arguments in this configuration, so keep the
+  // probe referenced explicitly.
+  [[maybe_unused]] auto probe = [&] {
+    ++evaluations;
+    return false;
+  };
+  YOSO_DCHECK(probe(), "release build is a no-op");
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+AcceleratorConfig base_config() {
+  return AcceleratorConfig{16, 32, 512, 512, Dataflow::kOutputStationary};
+}
+
+std::vector<Layer> reference_layers() {
+  return extract_layers(reference_model("Darts_v2").genotype,
+                        default_skeleton());
+}
+
+TEST(Contract, SimulatorRejectsInvalidBatch) {
+  const SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const std::vector<Layer> layers = reference_layers();
+  try {
+    sim.simulate(layers, base_config(), 0);
+    FAIL() << "batch=0 accepted";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(e.message().find("batch=0"), std::string::npos);
+  }
+}
+
+TEST(Contract, SimulatorRejectsDegenerateArray) {
+  const SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  const std::vector<Layer> layers = reference_layers();
+  AcceleratorConfig config = base_config();
+  config.pe_rows = 0;
+  EXPECT_THROW(sim.simulate(layers, config), ContractViolation);
+}
+
+TEST(Contract, RewardRejectsNonFiniteAccuracy) {
+  const RewardParams params = balanced_reward();
+  EvalResult r;
+  r.accuracy = std::numeric_limits<double>::quiet_NaN();
+  r.latency_ms = 1.0;
+  r.energy_mj = 1.0;
+  EXPECT_THROW(params.compute(r), ContractViolation);
+}
+
+TEST(Contract, GpPredictRejectsDimensionMismatch) {
+  GpRegressor gp;
+  const Matrix x = Matrix::from_rows({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.5}});
+  const std::vector<double> y = {0.0, 1.0, 2.0};
+  gp.fit(x, y);
+  try {
+    gp.predict(std::vector<double>{0.5});
+    FAIL() << "dimension mismatch accepted";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(e.message().find("feature dimension 1"), std::string::npos);
+    EXPECT_NE(e.message().find("fitted dimension 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace yoso

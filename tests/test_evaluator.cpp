@@ -2,39 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace yoso {
 namespace {
 
 class EvaluatorTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    space_ = new DesignSpace();
-    skeleton_ = new NetworkSkeleton(default_skeleton());
-    simulator_ = new SystolicSimulator({}, SimFidelity::kAnalytical);
-    fast_ = new FastEvaluator(*space_, *skeleton_, *simulator_,
-                              {.predictor_samples = 200, .seed = 3});
-    accurate_ = new AccurateEvaluator(*skeleton_);
+    space_ = std::make_unique<DesignSpace>();
+    skeleton_ = std::make_unique<NetworkSkeleton>(default_skeleton());
+    simulator_ = std::make_unique<SystolicSimulator>(TechnologyParams{}, SimFidelity::kAnalytical);
+    fast_ = std::make_unique<FastEvaluator>(*space_, *skeleton_, *simulator_,
+                              FastEvaluatorOptions{.predictor_samples = 200, .seed = 3});
+    accurate_ = std::make_unique<AccurateEvaluator>(*skeleton_);
   }
   static void TearDownTestSuite() {
-    delete accurate_;
-    delete fast_;
-    delete simulator_;
-    delete skeleton_;
-    delete space_;
+    accurate_.reset();
+    fast_.reset();
+    simulator_.reset();
+    skeleton_.reset();
+    space_.reset();
   }
 
-  static DesignSpace* space_;
-  static NetworkSkeleton* skeleton_;
-  static SystolicSimulator* simulator_;
-  static FastEvaluator* fast_;
-  static AccurateEvaluator* accurate_;
+  static std::unique_ptr<DesignSpace> space_;
+  static std::unique_ptr<NetworkSkeleton> skeleton_;
+  static std::unique_ptr<SystolicSimulator> simulator_;
+  static std::unique_ptr<FastEvaluator> fast_;
+  static std::unique_ptr<AccurateEvaluator> accurate_;
 };
 
-DesignSpace* EvaluatorTest::space_ = nullptr;
-NetworkSkeleton* EvaluatorTest::skeleton_ = nullptr;
-SystolicSimulator* EvaluatorTest::simulator_ = nullptr;
-FastEvaluator* EvaluatorTest::fast_ = nullptr;
-AccurateEvaluator* EvaluatorTest::accurate_ = nullptr;
+std::unique_ptr<DesignSpace> EvaluatorTest::space_;
+std::unique_ptr<NetworkSkeleton> EvaluatorTest::skeleton_;
+std::unique_ptr<SystolicSimulator> EvaluatorTest::simulator_;
+std::unique_ptr<FastEvaluator> EvaluatorTest::fast_;
+std::unique_ptr<AccurateEvaluator> EvaluatorTest::accurate_;
 
 TEST_F(EvaluatorTest, FastEvaluatorSaneRanges) {
   Rng rng(1);

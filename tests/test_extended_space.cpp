@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <set>
 
 namespace yoso {
@@ -63,25 +65,25 @@ TEST(ExtendedSpace, RandomCandidatesCoverSkeletons) {
 class ExtendedSearchTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    space_ = new ExtendedDesignSpace();
+    space_ = std::make_unique<ExtendedDesignSpace>();
     SystolicSimulator sim({}, SimFidelity::kAnalytical);
-    fast_ = new ExtendedFastEvaluator(*space_, sim, 180, 7);
-    accurate_ = new ExtendedAccurateEvaluator(
+    fast_ = std::make_unique<ExtendedFastEvaluator>(*space_, sim, 180, 7);
+    accurate_ = std::make_unique<ExtendedAccurateEvaluator>(
         SystolicSimulator({}, SimFidelity::kAnalytical));
   }
   static void TearDownTestSuite() {
-    delete accurate_;
-    delete fast_;
-    delete space_;
+    accurate_.reset();
+    fast_.reset();
+    space_.reset();
   }
-  static ExtendedDesignSpace* space_;
-  static ExtendedFastEvaluator* fast_;
-  static ExtendedAccurateEvaluator* accurate_;
+  static std::unique_ptr<ExtendedDesignSpace> space_;
+  static std::unique_ptr<ExtendedFastEvaluator> fast_;
+  static std::unique_ptr<ExtendedAccurateEvaluator> accurate_;
 };
 
-ExtendedDesignSpace* ExtendedSearchTest::space_ = nullptr;
-ExtendedFastEvaluator* ExtendedSearchTest::fast_ = nullptr;
-ExtendedAccurateEvaluator* ExtendedSearchTest::accurate_ = nullptr;
+std::unique_ptr<ExtendedDesignSpace> ExtendedSearchTest::space_;
+std::unique_ptr<ExtendedFastEvaluator> ExtendedSearchTest::fast_;
+std::unique_ptr<ExtendedAccurateEvaluator> ExtendedSearchTest::accurate_;
 
 TEST_F(ExtendedSearchTest, EvaluatorsRespondToSkeleton) {
   Rng rng(9);
@@ -113,7 +115,7 @@ TEST_F(ExtendedSearchTest, SearchRunsAndReranks) {
   opt.reward = energy_opt_reward();
   opt.seed = 13;
   ExtendedSearch search(*space_, opt);
-  const ExtendedSearchResult r = search.run(*fast_, accurate_);
+  const ExtendedSearchResult r = search.run(*fast_, accurate_.get());
   EXPECT_FALSE(r.finalists.empty());
   ASSERT_TRUE(r.best.has_value());
   EXPECT_GT(r.best_fast_reward, 0.0);

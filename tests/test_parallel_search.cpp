@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cmath>
 #include <vector>
 
@@ -16,19 +18,19 @@ namespace {
 class ParallelSearchTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    space_ = new DesignSpace();
-    skeleton_ = new NetworkSkeleton(default_skeleton());
+    space_ = std::make_unique<DesignSpace>();
+    skeleton_ = std::make_unique<NetworkSkeleton>(default_skeleton());
     SystolicSimulator sim({}, SimFidelity::kAnalytical);
-    fast_ = new FastEvaluator(*space_, *skeleton_, sim,
-                              {.predictor_samples = 150, .seed = 9});
-    accurate_ = new AccurateEvaluator(
+    fast_ = std::make_unique<FastEvaluator>(*space_, *skeleton_, sim,
+                              FastEvaluatorOptions{.predictor_samples = 150, .seed = 9});
+    accurate_ = std::make_unique<AccurateEvaluator>(
         *skeleton_, SystolicSimulator({}, SimFidelity::kAnalytical));
   }
   static void TearDownTestSuite() {
-    delete accurate_;
-    delete fast_;
-    delete skeleton_;
-    delete space_;
+    accurate_.reset();
+    fast_.reset();
+    skeleton_.reset();
+    space_.reset();
   }
 
   static SearchOptions base_options() {
@@ -64,16 +66,16 @@ class ParallelSearchTest : public ::testing::Test {
     }
   }
 
-  static DesignSpace* space_;
-  static NetworkSkeleton* skeleton_;
-  static FastEvaluator* fast_;
-  static AccurateEvaluator* accurate_;
+  static std::unique_ptr<DesignSpace> space_;
+  static std::unique_ptr<NetworkSkeleton> skeleton_;
+  static std::unique_ptr<FastEvaluator> fast_;
+  static std::unique_ptr<AccurateEvaluator> accurate_;
 };
 
-DesignSpace* ParallelSearchTest::space_ = nullptr;
-NetworkSkeleton* ParallelSearchTest::skeleton_ = nullptr;
-FastEvaluator* ParallelSearchTest::fast_ = nullptr;
-AccurateEvaluator* ParallelSearchTest::accurate_ = nullptr;
+std::unique_ptr<DesignSpace> ParallelSearchTest::space_;
+std::unique_ptr<NetworkSkeleton> ParallelSearchTest::skeleton_;
+std::unique_ptr<FastEvaluator> ParallelSearchTest::fast_;
+std::unique_ptr<AccurateEvaluator> ParallelSearchTest::accurate_;
 
 TEST_F(ParallelSearchTest, BatchMatchesSerialEvaluation) {
   Rng rng(4);
@@ -120,13 +122,13 @@ TEST_F(ParallelSearchTest, YosoSearchIdenticalAcrossThreadCounts) {
   opt.batch_size = 8;
   opt.threads = 1;
   fast_->clear_cache();
-  const SearchResult r1 = YosoSearch(*space_, opt).run(*fast_, accurate_);
+  const SearchResult r1 = YosoSearch(*space_, opt).run(*fast_, accurate_.get());
   opt.threads = 2;
   fast_->clear_cache();
-  const SearchResult r2 = YosoSearch(*space_, opt).run(*fast_, accurate_);
+  const SearchResult r2 = YosoSearch(*space_, opt).run(*fast_, accurate_.get());
   opt.threads = 8;
   fast_->clear_cache();
-  const SearchResult r8 = YosoSearch(*space_, opt).run(*fast_, accurate_);
+  const SearchResult r8 = YosoSearch(*space_, opt).run(*fast_, accurate_.get());
   expect_identical(r1, r2);
   expect_identical(r1, r8);
 }
@@ -167,14 +169,14 @@ TEST_F(ParallelSearchTest, AltDriversRunThroughSharedBase) {
   opt.iterations = 60;
   opt.threads = 2;
   const SearchResult evo =
-      EvolutionarySearch(*space_, opt).run(*fast_, accurate_);
+      EvolutionarySearch(*space_, opt).run(*fast_, accurate_.get());
   EXPECT_EQ(evo.iterations_run, 60u);
   ASSERT_TRUE(evo.best.has_value());
   BayesOptOptions bopt;
   bopt.initial_random = 15;
   bopt.acquisition_pool = 8;
   const SearchResult bo =
-      BayesOptSearch(*space_, opt, bopt).run(*fast_, accurate_);
+      BayesOptSearch(*space_, opt, bopt).run(*fast_, accurate_.get());
   EXPECT_EQ(bo.iterations_run, 60u);
   ASSERT_TRUE(bo.best.has_value());
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cmath>
 
 #include "util/stats.h"
@@ -12,30 +14,30 @@ namespace {
 class PerfPredictorTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    skeleton_ = new NetworkSkeleton(default_skeleton());
-    simulator_ = new SystolicSimulator({}, SimFidelity::kAnalytical);
-    space_ = new ConfigSpace(default_config_space());
+    skeleton_ = std::make_unique<NetworkSkeleton>(default_skeleton());
+    simulator_ = std::make_unique<SystolicSimulator>(TechnologyParams{}, SimFidelity::kAnalytical);
+    space_ = std::make_unique<ConfigSpace>(default_config_space());
     Rng rng(55);
-    samples_ = new std::vector<PerfSample>(
+    samples_ = std::make_unique<std::vector<PerfSample>>(
         collect_samples(260, *simulator_, *space_, *skeleton_, rng));
   }
   static void TearDownTestSuite() {
-    delete samples_;
-    delete space_;
-    delete simulator_;
-    delete skeleton_;
+    samples_.reset();
+    space_.reset();
+    simulator_.reset();
+    skeleton_.reset();
   }
 
-  static NetworkSkeleton* skeleton_;
-  static SystolicSimulator* simulator_;
-  static ConfigSpace* space_;
-  static std::vector<PerfSample>* samples_;
+  static std::unique_ptr<NetworkSkeleton> skeleton_;
+  static std::unique_ptr<SystolicSimulator> simulator_;
+  static std::unique_ptr<ConfigSpace> space_;
+  static std::unique_ptr<std::vector<PerfSample>> samples_;
 };
 
-NetworkSkeleton* PerfPredictorTest::skeleton_ = nullptr;
-SystolicSimulator* PerfPredictorTest::simulator_ = nullptr;
-ConfigSpace* PerfPredictorTest::space_ = nullptr;
-std::vector<PerfSample>* PerfPredictorTest::samples_ = nullptr;
+std::unique_ptr<NetworkSkeleton> PerfPredictorTest::skeleton_;
+std::unique_ptr<SystolicSimulator> PerfPredictorTest::simulator_;
+std::unique_ptr<ConfigSpace> PerfPredictorTest::space_;
+std::unique_ptr<std::vector<PerfSample>> PerfPredictorTest::samples_;
 
 TEST_F(PerfPredictorTest, FeaturesFixedWidthAndFinite) {
   Rng rng(1);

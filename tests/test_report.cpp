@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace yoso {
 namespace {
 
@@ -23,19 +25,19 @@ SearchResult small_search_result(const NetworkSkeleton& skeleton) {
 class ReportTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    skeleton_ = new NetworkSkeleton(default_skeleton());
-    result_ = new SearchResult(small_search_result(*skeleton_));
+    skeleton_ = std::make_unique<NetworkSkeleton>(default_skeleton());
+    result_ = std::make_unique<SearchResult>(small_search_result(*skeleton_));
   }
   static void TearDownTestSuite() {
-    delete result_;
-    delete skeleton_;
+    result_.reset();
+    skeleton_.reset();
   }
-  static NetworkSkeleton* skeleton_;
-  static SearchResult* result_;
+  static std::unique_ptr<NetworkSkeleton> skeleton_;
+  static std::unique_ptr<SearchResult> result_;
 };
 
-NetworkSkeleton* ReportTest::skeleton_ = nullptr;
-SearchResult* ReportTest::result_ = nullptr;
+std::unique_ptr<NetworkSkeleton> ReportTest::skeleton_;
+std::unique_ptr<SearchResult> ReportTest::result_;
 
 TEST_F(ReportTest, ContainsAllSections) {
   const std::string md =

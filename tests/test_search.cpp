@@ -2,25 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace yoso {
 namespace {
 
 class SearchTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    space_ = new DesignSpace();
-    skeleton_ = new NetworkSkeleton(default_skeleton());
+    space_ = std::make_unique<DesignSpace>();
+    skeleton_ = std::make_unique<NetworkSkeleton>(default_skeleton());
     SystolicSimulator sim({}, SimFidelity::kAnalytical);
-    fast_ = new FastEvaluator(*space_, *skeleton_, sim,
-                              {.predictor_samples = 150, .seed = 9});
-    accurate_ = new AccurateEvaluator(
+    fast_ = std::make_unique<FastEvaluator>(*space_, *skeleton_, sim,
+                              FastEvaluatorOptions{.predictor_samples = 150, .seed = 9});
+    accurate_ = std::make_unique<AccurateEvaluator>(
         *skeleton_, SystolicSimulator({}, SimFidelity::kAnalytical));
   }
   static void TearDownTestSuite() {
-    delete accurate_;
-    delete fast_;
-    delete skeleton_;
-    delete space_;
+    accurate_.reset();
+    fast_.reset();
+    skeleton_.reset();
+    space_.reset();
   }
 
   static SearchOptions small_options(std::size_t iters) {
@@ -33,20 +35,20 @@ class SearchTest : public ::testing::Test {
     return opt;
   }
 
-  static DesignSpace* space_;
-  static NetworkSkeleton* skeleton_;
-  static FastEvaluator* fast_;
-  static AccurateEvaluator* accurate_;
+  static std::unique_ptr<DesignSpace> space_;
+  static std::unique_ptr<NetworkSkeleton> skeleton_;
+  static std::unique_ptr<FastEvaluator> fast_;
+  static std::unique_ptr<AccurateEvaluator> accurate_;
 };
 
-DesignSpace* SearchTest::space_ = nullptr;
-NetworkSkeleton* SearchTest::skeleton_ = nullptr;
-FastEvaluator* SearchTest::fast_ = nullptr;
-AccurateEvaluator* SearchTest::accurate_ = nullptr;
+std::unique_ptr<DesignSpace> SearchTest::space_;
+std::unique_ptr<NetworkSkeleton> SearchTest::skeleton_;
+std::unique_ptr<FastEvaluator> SearchTest::fast_;
+std::unique_ptr<AccurateEvaluator> SearchTest::accurate_;
 
 TEST_F(SearchTest, ProducesTraceFinalistsAndBest) {
   YosoSearch search(*space_, small_options(120));
-  const SearchResult r = search.run(*fast_, accurate_);
+  const SearchResult r = search.run(*fast_, accurate_.get());
   EXPECT_EQ(r.iterations_run, 120u);
   EXPECT_EQ(r.trace.size(), 12u);  // every 10th
   EXPECT_FALSE(r.finalists.empty());
@@ -64,7 +66,7 @@ TEST_F(SearchTest, TraceIterationsAscend) {
 
 TEST_F(SearchTest, FinalistsSortedByAccurateReward) {
   YosoSearch search(*space_, small_options(150));
-  const SearchResult r = search.run(*fast_, accurate_);
+  const SearchResult r = search.run(*fast_, accurate_.get());
   for (std::size_t i = 1; i < r.finalists.size(); ++i)
     EXPECT_GE(r.finalists[i - 1].accurate_reward,
               r.finalists[i].accurate_reward);
@@ -80,7 +82,7 @@ TEST_F(SearchTest, FinalistsAreDistinct) {
 
 TEST_F(SearchTest, BestIsFeasibleWhenAnyFinalistIs) {
   YosoSearch search(*space_, small_options(200));
-  const SearchResult r = search.run(*fast_, accurate_);
+  const SearchResult r = search.run(*fast_, accurate_.get());
   ASSERT_TRUE(r.best.has_value());
   bool any_feasible = false;
   for (const auto& f : r.finalists) any_feasible |= f.feasible;
@@ -112,7 +114,7 @@ TEST_F(SearchTest, DeterministicForSameSeed) {
 
 TEST_F(SearchTest, RandomSearchDriverSameInterface) {
   RandomSearchDriver driver(*space_, small_options(100));
-  const SearchResult r = driver.run(*fast_, accurate_);
+  const SearchResult r = driver.run(*fast_, accurate_.get());
   EXPECT_EQ(r.iterations_run, 100u);
   EXPECT_FALSE(r.finalists.empty());
   ASSERT_TRUE(r.best.has_value());

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cmath>
 #include <tuple>
 
@@ -18,21 +20,20 @@ using ConfigParam = std::tuple<int, int, int, int, int>;  // r, c, gbuf, rbuf, d
 class ConfigSweep : public ::testing::TestWithParam<ConfigParam> {
  protected:
   static void SetUpTestSuite() {
-    layers_ = new std::vector<Layer>(extract_layers(
+    layers_ = std::make_unique<std::vector<Layer>>(extract_layers(
         reference_model("Darts_v1").genotype, default_skeleton()));
   }
   static void TearDownTestSuite() {
-    delete layers_;
-    layers_ = nullptr;
+    layers_.reset();
   }
   AcceleratorConfig config() const {
     const auto [r, c, g, rb, d] = GetParam();
     return AcceleratorConfig{r, c, g, rb, static_cast<Dataflow>(d)};
   }
-  static std::vector<Layer>* layers_;
+  static std::unique_ptr<std::vector<Layer>> layers_;
 };
 
-std::vector<Layer>* ConfigSweep::layers_ = nullptr;
+std::unique_ptr<std::vector<Layer>> ConfigSweep::layers_;
 
 TEST_P(ConfigSweep, EnergyBreakdownConsistent) {
   SystolicSimulator sim({}, SimFidelity::kAnalytical);

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "util/contract.h"
 
 namespace yoso {
 namespace {
@@ -41,8 +44,44 @@ TEST(ThreadPool, EmptyRangeIsANoOp) {
   std::atomic<int> calls{0};
   pool.parallel_for(0, 0, [&](std::size_t) { calls.fetch_add(1); });
   pool.parallel_for(7, 7, [&](std::size_t) { calls.fetch_add(1); });
-  pool.parallel_for(9, 3, [&](std::size_t) { calls.fetch_add(1); });
   EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ReversedRangeViolatesContract) {
+  // A reversed range is an upstream index-arithmetic bug, not an empty
+  // loop; parallel_for refuses it instead of silently doing nothing.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(9, 3, [](std::size_t) {}),
+               yoso::ContractViolation);
+}
+
+TEST(ThreadPool, EmptyFunctionViolatesContract) {
+  ThreadPool pool(1);
+  std::function<void(std::size_t)> empty;
+  EXPECT_THROW(pool.parallel_for(0, 4, empty), yoso::ContractViolation);
+}
+
+TEST(ThreadPool, NestedParallelForViolatesContract) {
+  // Before the contract, a nested parallel_for overwrote the in-flight job
+  // and deadlocked the outer wait; now the inner call fails fast.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 8, [](std::size_t) {});
+                                 }),
+               yoso::ContractViolation);
+}
+
+TEST(ThreadPool, UsableAgainAfterContractViolation) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 8, [](std::size_t) {});
+                                 }),
+               yoso::ContractViolation);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 16, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 16);
 }
 
 TEST(ThreadPool, PropagatesLowestIndexException) {

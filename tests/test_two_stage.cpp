@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace yoso {
 namespace {
 
@@ -17,20 +19,20 @@ ConfigSpace tiny_space() {
 class TwoStageTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    space_ = new DesignSpace(tiny_space());
-    evaluator_ = new AccurateEvaluator(
+    space_ = std::make_unique<DesignSpace>(tiny_space());
+    evaluator_ = std::make_unique<AccurateEvaluator>(
         default_skeleton(), SystolicSimulator({}, SimFidelity::kAnalytical));
   }
   static void TearDownTestSuite() {
-    delete evaluator_;
-    delete space_;
+    evaluator_.reset();
+    space_.reset();
   }
-  static DesignSpace* space_;
-  static AccurateEvaluator* evaluator_;
+  static std::unique_ptr<DesignSpace> space_;
+  static std::unique_ptr<AccurateEvaluator> evaluator_;
 };
 
-DesignSpace* TwoStageTest::space_ = nullptr;
-AccurateEvaluator* TwoStageTest::evaluator_ = nullptr;
+std::unique_ptr<DesignSpace> TwoStageTest::space_;
+std::unique_ptr<AccurateEvaluator> TwoStageTest::evaluator_;
 
 TEST_F(TwoStageTest, EvaluatesEveryConfiguration) {
   const auto row = two_stage_best_config(reference_model("Darts_v1"), *space_,

@@ -1,0 +1,19 @@
+// Fixture: the escape hatch.  Every violation here is suppressed with
+// `yoso-lint: allow(<rule>)`, so the self-test expects zero findings.
+#include <cstdlib>
+
+namespace yoso {
+
+int seeded_benchmark_noise() {
+  // Same-line form.
+  return std::rand();  // yoso-lint: allow(global-rng)
+}
+
+int legacy_counter() {
+  // Preceding-line form.
+  // yoso-lint: allow(static-state)
+  static int count = 0;
+  return ++count;
+}
+
+}  // namespace yoso

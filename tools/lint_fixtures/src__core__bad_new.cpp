@@ -1,0 +1,42 @@
+// Fixture: raw ownership instead of containers / smart pointers.
+#include <memory>
+
+namespace yoso {
+
+struct Node {
+  int value = 0;
+  Node* next = nullptr;
+};
+
+Node* make_node(int v) {
+  Node* n = new Node;  // expect-lint: naked-new
+  n->value = v;
+  return n;
+}
+
+void free_node(Node* n) {
+  delete n;  // expect-lint: naked-new
+}
+
+int* make_buffer(int count) {
+  return new int[count];  // expect-lint: naked-new
+}
+
+void free_buffer(int* p) {
+  delete[] p;  // expect-lint: naked-new
+}
+
+// Not violations: smart pointers and deleted special members.
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+std::unique_ptr<Node> make_owned(int v) {
+  auto n = std::make_unique<Node>();
+  n->value = v;
+  return n;
+}
+
+}  // namespace yoso

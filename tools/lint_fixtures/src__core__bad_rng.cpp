@@ -1,0 +1,27 @@
+// Fixture: forbidden nondeterministic randomness sources.  Each violating
+// line carries an `expect-lint` annotation the self-test checks against.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace yoso {
+
+double noise() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // expect-lint: global-rng  // expect-lint: global-rng
+  return std::rand() / 2.0;  // expect-lint: global-rng
+}
+
+int roll() {
+  return rand() % 6;  // expect-lint: global-rng
+}
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // expect-lint: global-rng
+  return rd();
+}
+
+// Not violations: identifiers merely containing the banned tokens.
+int randomize_count(int brand) { return brand; }
+double uptime(double t) { return t; }
+
+}  // namespace yoso

@@ -1,0 +1,24 @@
+// Fixture: mutable static state in src/ outside util/.
+#include <string>
+#include <vector>
+
+namespace yoso {
+
+static int g_call_count = 0;  // expect-lint: static-state
+static std::vector<double> g_cache;  // expect-lint: static-state
+thread_local int tls_scratch = 0;  // expect-lint: static-state
+
+int bump() {
+  static int counter = 0;  // expect-lint: static-state
+  return ++counter + g_call_count + tls_scratch +
+         static_cast<int>(g_cache.size());
+}
+
+// Not violations: immutable data and static functions.
+static const int kLimit = 64;
+static constexpr double kScale = 2.0;
+static std::string helper_name() { return "helper"; }
+
+int limit() { return kLimit + static_cast<int>(kScale) + bump(); }
+
+}  // namespace yoso

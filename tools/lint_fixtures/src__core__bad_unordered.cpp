@@ -1,0 +1,37 @@
+// Fixture: implementation-defined iteration order feeding output.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace yoso {
+
+double sum_rewards(const std::unordered_map<std::string, double>& rewards) {
+  double total = 0.0;
+  for (const auto& [key, value] : rewards) {  // expect-lint: unordered-iter
+    total += value * static_cast<double>(key.size());
+  }
+  return total;
+}
+
+int walk(const std::unordered_set<int>& seen) {
+  int acc = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // expect-lint: unordered-iter
+    acc += *it;
+  }
+  return acc;
+}
+
+// Not violations: ordered map iteration and unordered membership lookups.
+// (The checker matches by variable name per file, so the ordered map gets a
+// name no unordered container in this file uses.)
+double sum_ordered(const std::map<std::string, double>& ordered_rewards,
+                   const std::unordered_set<std::string>& filter) {
+  double total = 0.0;
+  for (const auto& [key, value] : ordered_rewards) {
+    if (filter.count(key) > 0) total += value;
+  }
+  return total;
+}
+
+}  // namespace yoso

@@ -1,0 +1,387 @@
+#!/usr/bin/env python3
+"""yoso-lint: project-specific determinism / thread-safety checker.
+
+Machine-enforces the rules DESIGN.md states in prose (§9 threading model,
+§10 correctness tooling).  The search loop is multithreaded and results must
+be bit-identical at any thread count, so the classic sources of silent
+nondeterminism are banned outright:
+
+  global-rng        std::rand / srand / random_device / time()-seeded RNG
+                    anywhere outside src/util/rng.* — every draw must go
+                    through the seedable yoso::Rng.
+  static-state      mutable function-local or global `static` data in src/
+                    outside src/util/ — hidden state breaks reproducibility
+                    and is a data race under the parallel evaluator.
+  unordered-iter    iteration over std::unordered_map / std::unordered_set —
+                    iteration order is implementation-defined, so anything it
+                    feeds (rewards, finalist pools, reports) varies run to
+                    run.  Use std::map or sort the keys first.
+  naked-new         raw `new` / `delete` — ownership must be expressed with
+                    containers or smart pointers (make_unique/make_shared).
+  header-self-contained (with --check-headers)
+                    every header under src/ must compile standalone, so any
+                    TU can include it first without hidden include-order
+                    dependencies.
+
+Escape hatch: append `// yoso-lint: allow(<rule>)` to the offending line (or
+the line directly above it) to suppress one rule there.  Allows are counted
+and capped (--max-allows, default 5) so the hatch stays an exception, not a
+policy.
+
+Exit status: 0 when no violations (and the allow budget holds), 1 otherwise.
+`--self-test` checks the linter itself against tools/lint_fixtures/, where
+every seeded violation is annotated with `// expect-lint: <rule>`.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+RULES = (
+    "global-rng",
+    "static-state",
+    "unordered-iter",
+    "naked-new",
+    "header-self-contained",
+)
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".h", ".hpp")
+
+ALLOW_RE = re.compile(r"//\s*yoso-lint:\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines):
+    """Maps line number -> set of allowed rules.  An allow comment applies to
+    its own line and, when it is the only thing on the line, to the next."""
+    allows = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        for m in ALLOW_RE.finditer(line):
+            rule = m.group(1)
+            allows.setdefault(idx, set()).add(rule)
+            if line.strip().startswith("//"):
+                allows.setdefault(idx + 1, set()).add(rule)
+    return allows
+
+
+GLOBAL_RNG_RE = re.compile(
+    r"(?:(?<![\w:])(?:std::)?s?rand\s*\(|\brandom_device\b"
+    r"|(?<![\w:])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)?\s*\))"
+)
+
+STATIC_DECL_RE = re.compile(r"^\s*(?:\[\[[^\]]*\]\]\s*)*(static|thread_local)\b")
+STATIC_EXEMPT_RE = re.compile(
+    r"\b(?:const\b|constexpr\b|consteval\b|constinit\b|static_assert|static_cast)"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*[&*]?\s*(\w+)"
+)
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;]*?(?<!:):(?!:)\s*(.+)\)\s*\{?\s*$")
+IDENT_RE = re.compile(r"\b(\w+)\b")
+
+NAKED_NEW_RE = re.compile(r"(?<![\w_])new\b(?!\s*\()")
+NAKED_DELETE_RE = re.compile(r"(?<![\w_])delete\b(\s*\[\s*\])?\s")
+
+
+def is_function_decl(line, m_end):
+    """After `static <type...>`, decide whether the declared entity is a
+    function (first declarator identifier followed by '(') or data."""
+    rest = line[m_end:]
+    # Walk identifiers; the declarator is the last identifier before one of
+    # '=', ';', '{', '[' or '('.  Template args may contain commas; strip
+    # angle-bracket contents first to keep the walk simple.
+    depth = 0
+    flat = []
+    for ch in rest:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            flat.append(ch)
+    flat = "".join(flat)
+    m = re.search(r"(\w+)\s*([(=;{\[])", flat)
+    if not m:
+        return True  # no declarator on this line (e.g. `static` + linebreak)
+    return m.group(2) == "("
+
+
+def scan_file(path, rel, text):
+    raw_lines = text.splitlines()
+    clean_lines = strip_comments_and_strings(text).splitlines()
+    violations = []
+
+    in_util = rel.replace(os.sep, "/").startswith("src/util/")
+    is_rng_impl = re.match(r"src/util/rng\.(h|cpp)$", rel.replace(os.sep, "/"))
+    in_src = rel.replace(os.sep, "/").startswith("src/")
+
+    unordered_vars = set()
+    for line in clean_lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group(1))
+
+    for idx, line in enumerate(clean_lines, start=1):
+        # global-rng: everywhere except the seedable RNG's own implementation.
+        if not is_rng_impl:
+            m = GLOBAL_RNG_RE.search(line)
+            if m:
+                violations.append(Violation(
+                    rel, idx, "global-rng",
+                    f"forbidden nondeterministic source `{m.group(0).strip()}`"
+                    " — route randomness through util/rng (yoso::Rng)"))
+
+        # static-state: src/ outside util/ only.
+        if in_src and not in_util:
+            m = STATIC_DECL_RE.search(line)
+            if m and not STATIC_EXEMPT_RE.search(line):
+                if not is_function_decl(line, m.end()):
+                    violations.append(Violation(
+                        rel, idx, "static-state",
+                        "mutable static/thread_local state — hidden state "
+                        "breaks run-to-run reproducibility and races under "
+                        "the parallel evaluator"))
+
+        # unordered-iter: iteration over a container declared unordered here.
+        mfor = RANGE_FOR_RE.search(line)
+        if mfor:
+            range_expr = mfor.group(1)
+            idents = set(IDENT_RE.findall(range_expr))
+            hit = idents & unordered_vars
+            if hit:
+                violations.append(Violation(
+                    rel, idx, "unordered-iter",
+                    f"range-for over unordered container `{sorted(hit)[0]}` "
+                    "— iteration order is implementation-defined"))
+        for var in unordered_vars:
+            if re.search(rf"\b{re.escape(var)}\s*\.\s*(begin|cbegin)\s*\(",
+                         line):
+                violations.append(Violation(
+                    rel, idx, "unordered-iter",
+                    f"iterator walk over unordered container `{var}` — "
+                    "iteration order is implementation-defined"))
+
+        # naked-new / naked-delete.
+        if NAKED_NEW_RE.search(line):
+            violations.append(Violation(
+                rel, idx, "naked-new",
+                "raw `new` — use std::make_unique/make_shared or a container"))
+        if NAKED_DELETE_RE.search(line) and not re.search(
+                r"=\s*delete|delete\s*;", line):
+            violations.append(Violation(
+                rel, idx, "naked-new",
+                "raw `delete` — ownership belongs in a smart pointer"))
+
+    # Apply escape hatch.
+    allows = collect_allows(raw_lines)
+    kept, used_allows = [], 0
+    for v in violations:
+        if v.rule in allows.get(v.line, set()):
+            used_allows += 1
+        else:
+            kept.append(v)
+    return kept, used_allows
+
+
+def iter_cpp_files(root, dirs=SCAN_DIRS):
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [x for x in dirnames if not x.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def check_headers(root, cxx):
+    """Compiles every header under src/ standalone (first include of an empty
+    TU); a header that relies on its includer's includes fails here."""
+    violations = []
+    headers = [p for p in iter_cpp_files(root, dirs=("src",))
+               if p.endswith((".h", ".hpp"))]
+    for path in headers:
+        rel = os.path.relpath(path, root)
+        include = os.path.relpath(path, os.path.join(root, "src"))
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False) as tu:
+            tu.write(f'#include "{include}"\n')
+            tu_path = tu.name
+        try:
+            proc = subprocess.run(
+                [cxx, "-std=c++20", "-fsyntax-only",
+                 "-I", os.path.join(root, "src"), tu_path],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = proc.stderr.strip().splitlines()
+                detail = first[0] if first else "compile failed"
+                violations.append(Violation(
+                    rel, 1, "header-self-contained",
+                    f"header does not compile standalone: {detail}"))
+        finally:
+            os.unlink(tu_path)
+    return violations
+
+
+def run_tree(root, check_hdrs, cxx, max_allows):
+    violations, total_allows = [], 0
+    for path in iter_cpp_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        found, used = scan_file(path, rel, text)
+        violations.extend(found)
+        total_allows += used
+    if check_hdrs:
+        violations.extend(check_headers(root, cxx))
+
+    for v in violations:
+        print(v)
+    print(f"yoso-lint: {len(violations)} violation(s), "
+          f"{total_allows} allow(s) used (budget {max_allows})")
+    if total_allows > max_allows:
+        print(f"yoso-lint: allow budget exceeded ({total_allows} > "
+              f"{max_allows}); remove suppressions or fix the code")
+        return 1
+    return 1 if violations else 0
+
+
+def run_self_test(script_dir):
+    fixtures = os.path.join(script_dir, "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"yoso-lint --self-test: fixture dir missing: {fixtures}")
+        return 1
+    failures = 0
+    for name in sorted(os.listdir(fixtures)):
+        if not name.endswith(CPP_EXTENSIONS):
+            continue
+        path = os.path.join(fixtures, name)
+        # Fixtures mimic tree layout via their name: src__core__x.cpp maps to
+        # src/core/x.cpp so path-scoped rules (static-state) apply.
+        rel = name.replace("__", "/")
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        expected = set()
+        for idx, line in enumerate(text.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((idx, m.group(1)))
+        found_list, _ = scan_file(path, rel, text)
+        found = {(v.line, v.rule) for v in found_list}
+        missed = expected - found
+        spurious = found - expected
+        for line, rule in sorted(missed):
+            print(f"SELF-TEST FAIL {name}:{line}: seeded [{rule}] "
+                  "not detected")
+            failures += 1
+        for line, rule in sorted(spurious):
+            print(f"SELF-TEST FAIL {name}:{line}: spurious [{rule}]")
+            failures += 1
+        status = "ok" if not (missed or spurious) else "FAIL"
+        print(f"self-test {name}: {len(expected)} seeded, "
+              f"{len(found & expected)} detected — {status}")
+    print(f"yoso-lint --self-test: {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--check-headers", action="store_true",
+                        help="also compile every src/ header standalone")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                        help="compiler for --check-headers")
+    parser.add_argument("--max-allows", type=int, default=5,
+                        help="budget of yoso-lint: allow() suppressions")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter against tools/lint_fixtures/")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.self_test:
+        return run_self_test(script_dir)
+    return run_tree(os.path.abspath(args.root), args.check_headers, args.cxx,
+                    args.max_allows)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
