@@ -30,8 +30,27 @@ cmake -B build-check -S . -DYOSO_WERROR=ON
 cmake --build build-check -j "$JOBS"
 ctest --test-dir build-check -j "$JOBS" --output-on-failure
 
-step "2/4 yoso-lint (tree + self-test + standalone headers)"
+step "2/4 yoso-lint (tree + self-test + standalone headers) + format gate"
+# yoso-lint's clang engine reads the exported compile database; fail fast
+# with a clear message if it is missing (configure didn't run / ancient
+# CMake) or stale (older than the top-level CMakeLists.txt), instead of
+# letting the lint silently degrade to a weaker engine.
+COMPILE_DB=build-check/compile_commands.json
+if [ ! -f "$COMPILE_DB" ]; then
+  echo "error: $COMPILE_DB is missing." >&2
+  echo "CMAKE_EXPORT_COMPILE_COMMANDS=ON should have produced it during the" >&2
+  echo "configure step above; rerun 'cmake -B build-check -S .' and check" >&2
+  echo "for configure errors before trusting any lint result." >&2
+  exit 1
+fi
+if [ CMakeLists.txt -nt "$COMPILE_DB" ]; then
+  echo "error: $COMPILE_DB is stale (older than CMakeLists.txt)." >&2
+  echo "Reconfigure with 'cmake -B build-check -S .' so yoso-lint analyses" >&2
+  echo "the flags the tree actually builds with." >&2
+  exit 1
+fi
 cmake --build build-check --target lint
+python3 tools/yoso_format.py --root . --check --builtin-only
 
 if [ "$FAST" -eq 1 ]; then
   step "skipping sanitizer stages (--fast)"

@@ -70,6 +70,11 @@ EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
 
 std::vector<EvalResult> FastEvaluator::evaluate_batch(
     std::span<const CandidateDesign> batch) {
+  // The calling thread *is* the coordinator; the guard makes that visible
+  // to -Wthread-safety so cache_ access below is proven legal — and stays
+  // illegal inside the parallel_for lambda, which holds no capabilities.
+  ThreadRoleGuard coordinator(coordinator_);
+
   std::vector<EvalResult> results(batch.size());
   std::vector<std::string> keys(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)

@@ -22,6 +22,14 @@
 // encoded candidate, which pays off when the controller revisits designs.
 // Results are bit-identical to per-candidate serial evaluation at any
 // thread count.
+//
+// The memo cache is *coordinator-only* state: it is read and filled on the
+// calling thread, in batch order, never from the pool workers — that is
+// what keeps its contents (and hence eviction behaviour) independent of the
+// thread count.  The discipline is machine-proven, not prose: cache_ is
+// YOSO_GUARDED_BY the coordinator_ thread role, so under clang
+// -Wthread-safety a worker lambda that touches it fails to compile (the
+// clang-gated ctest `tsa.negative` demonstrates the diagnostic).
 
 #include <memory>
 #include <span>
@@ -34,6 +42,7 @@
 #include "core/reward.h"
 #include "predictor/perf_predictor.h"
 #include "surrogate/accuracy_model.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace yoso {
@@ -89,11 +98,24 @@ class FastEvaluator : public Evaluator {
   void set_parallelism(std::size_t threads) override;
   std::size_t parallelism() const { return threads_; }
 
-  std::size_t cache_size() const { return cache_.size(); }
-  void clear_cache() { cache_.clear(); }
+  std::size_t cache_size() const {
+    ThreadRoleGuard coordinator(coordinator_);
+    return cache_.size();
+  }
+  void clear_cache() {
+    ThreadRoleGuard coordinator(coordinator_);
+    cache_.clear();
+  }
 
   const PerformancePredictor& predictor() const { return predictor_; }
   const AccuracyModel& accuracy_model() const { return accuracy_; }
+
+#ifdef YOSO_TSA_NEGATIVE_FIXTURE
+  /// Hook for the compile-time negative fixture
+  /// (tests/fixtures/tsa_negative_cache_access.cpp): its definition makes a
+  /// worker lambda touch cache_ and must be rejected by -Wthread-safety.
+  void tsa_fixture_worker_touches_cache();
+#endif
 
  private:
   EvalResult compute(const CandidateDesign& candidate) const;
@@ -103,7 +125,11 @@ class FastEvaluator : public Evaluator {
   PerformancePredictor predictor_;
   std::size_t threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
-  std::unordered_map<std::string, EvalResult> cache_;
+  /// Serial context of whichever thread drives the search; cache_ may only
+  /// be touched under a ThreadRoleGuard on it (never from pool workers).
+  mutable ThreadRole coordinator_;
+  std::unordered_map<std::string, EvalResult> cache_
+      YOSO_GUARDED_BY(coordinator_);
 };
 
 class AccurateEvaluator : public Evaluator {

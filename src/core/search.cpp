@@ -6,6 +6,7 @@ namespace yoso {
 
 void FinalistPool::offer(const CandidateDesign& candidate, double reward,
                          const EvalResult& result) {
+  ThreadRoleGuard coordinator(role_);
   if (capacity_ == 0) return;
   if (!seen_.insert(candidate_key(candidate)).second)
     return;  // dedupe revisited designs
@@ -26,6 +27,7 @@ void FinalistPool::offer(const CandidateDesign& candidate, double reward,
 std::vector<double> SearchLoop::submit(
     std::span<const CandidateDesign> batch) {
   const std::vector<EvalResult> evals = fast_.evaluate_batch(batch);
+  ThreadRoleGuard coordinator(role_);
   std::vector<double> rewards(batch.size());
   for (std::size_t j = 0; j < batch.size(); ++j) {
     const double reward = options_.reward.compute(evals[j]);

@@ -31,6 +31,7 @@
 #include "core/reward.h"
 #include "rl/reinforce.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace yoso {
 
@@ -86,12 +87,21 @@ class FinalistPool {
              const EvalResult& result);
 
   /// Moves the collected finalists out (sorted by fast reward, desc).
-  std::vector<RankedCandidate> take() { return std::move(entries_); }
+  std::vector<RankedCandidate> take() {
+    ThreadRoleGuard coordinator(role_);
+    return std::move(entries_);
+  }
 
  private:
   std::size_t capacity_;
-  std::vector<RankedCandidate> entries_;   // sorted by fast_reward desc
-  std::unordered_set<std::string> seen_;   // keys of every offered design
+  /// Offers must stay in proposal order for determinism, so the pool is
+  /// coordinator-only state: entries_/seen_ are guarded by the serial role,
+  /// never handed to evaluator workers.
+  mutable ThreadRole role_;
+  std::vector<RankedCandidate> entries_    // sorted by fast_reward desc
+      YOSO_GUARDED_BY(role_);
+  std::unordered_set<std::string> seen_    // keys of every offered design
+      YOSO_GUARDED_BY(role_);
 };
 
 /// The per-iteration bookkeeping every driver shares: batch evaluation via
@@ -114,7 +124,10 @@ class SearchLoop {
   /// Single-candidate convenience for inherently sequential strategies.
   double submit(const CandidateDesign& candidate);
 
-  std::size_t iterations_done() const { return iteration_; }
+  std::size_t iterations_done() const {
+    ThreadRoleGuard coordinator(role_);
+    return iteration_;
+  }
   std::vector<RankedCandidate> take_finalists() { return pool_.take(); }
 
  private:
@@ -122,7 +135,11 @@ class SearchLoop {
   Evaluator& fast_;
   SearchResult& result_;
   FinalistPool pool_;
-  std::size_t iteration_ = 0;
+  /// Per-iteration bookkeeping (counters, best-reward, trace emission) is
+  /// applied in submission order on the driving thread only; the role guard
+  /// lets the compiler reject any future attempt to update it from a worker.
+  mutable ThreadRole role_;
+  std::size_t iteration_ YOSO_GUARDED_BY(role_) = 0;
 };
 
 /// Abstract base every search strategy implements.  run() is the template

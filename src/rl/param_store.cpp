@@ -9,6 +9,7 @@
 namespace yoso {
 
 ParamView ParamStore::alloc(std::size_t n, Rng& rng, double scale) {
+  ThreadRoleGuard coordinator(role_);
   ParamView v{value_.size(), n};
   value_.reserve(value_.size() + n);
   for (std::size_t i = 0; i < n; ++i)
@@ -20,10 +21,12 @@ ParamView ParamStore::alloc(std::size_t n, Rng& rng, double scale) {
 }
 
 void ParamStore::zero_grad() {
+  ThreadRoleGuard coordinator(role_);
   std::fill(grad_.begin(), grad_.end(), 0.0);
 }
 
 void ParamStore::adam_step(double lr, double beta1, double beta2, double eps) {
+  ThreadRoleGuard coordinator(role_);
   ++adam_t_;
   const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adam_t_));
   const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adam_t_));
@@ -37,16 +40,19 @@ void ParamStore::adam_step(double lr, double beta1, double beta2, double eps) {
 }
 
 double ParamStore::grad_norm() const {
+  ThreadRoleGuard coordinator(role_);
   double acc = 0.0;
   for (double g : grad_) acc += g * g;
   return std::sqrt(acc);
 }
 
 void ParamStore::scale_grad(double factor) {
+  ThreadRoleGuard coordinator(role_);
   for (double& g : grad_) g *= factor;
 }
 
 void ParamStore::save(std::ostream& os) const {
+  ThreadRoleGuard coordinator(role_);
   os << "yoso-paramstore-v1 " << value_.size() << " " << adam_t_ << "\n";
   os.precision(std::numeric_limits<double>::max_digits10);
   for (std::size_t i = 0; i < value_.size(); ++i)
@@ -54,6 +60,7 @@ void ParamStore::save(std::ostream& os) const {
 }
 
 void ParamStore::load(std::istream& is) {
+  ThreadRoleGuard coordinator(role_);
   std::string magic;
   std::size_t n = 0;
   long long t = 0;

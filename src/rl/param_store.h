@@ -3,6 +3,12 @@
 // moments live in parallel arrays; tensors are (offset, size) views.  This
 // keeps the LSTM/BPTT code free of allocation and makes the Adam update a
 // single pass.
+//
+// The store is controller state: proposals and REINFORCE feedback mutate it
+// strictly in episode order on the thread driving the search, never from
+// evaluator workers (DESIGN.md §9).  The arrays are guarded by a
+// coordinator ThreadRole so clang's -Wthread-safety rejects any future
+// parallel-region write instead of leaving the rule to review.
 
 #include <cstddef>
 #include <iosfwd>
@@ -10,6 +16,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace yoso {
 
@@ -25,16 +32,22 @@ class ParamStore {
   ParamView alloc(std::size_t n, Rng& rng, double scale = 0.1);
 
   std::span<double> value(ParamView v) {
+    ThreadRoleGuard coordinator(role_);
     return std::span<double>(value_).subspan(v.offset, v.size);
   }
   std::span<const double> value(ParamView v) const {
+    ThreadRoleGuard coordinator(role_);
     return std::span<const double>(value_).subspan(v.offset, v.size);
   }
   std::span<double> grad(ParamView v) {
+    ThreadRoleGuard coordinator(role_);
     return std::span<double>(grad_).subspan(v.offset, v.size);
   }
 
-  std::size_t size() const { return value_.size(); }
+  std::size_t size() const {
+    ThreadRoleGuard coordinator(role_);
+    return value_.size();
+  }
 
   void zero_grad();
 
@@ -56,11 +69,12 @@ class ParamStore {
   void load(std::istream& is);
 
  private:
-  std::vector<double> value_;
-  std::vector<double> grad_;
-  std::vector<double> adam_m_;
-  std::vector<double> adam_v_;
-  long long adam_t_ = 0;
+  mutable ThreadRole role_;
+  std::vector<double> value_ YOSO_GUARDED_BY(role_);
+  std::vector<double> grad_ YOSO_GUARDED_BY(role_);
+  std::vector<double> adam_m_ YOSO_GUARDED_BY(role_);
+  std::vector<double> adam_v_ YOSO_GUARDED_BY(role_);
+  long long adam_t_ YOSO_GUARDED_BY(role_) = 0;
 };
 
 }  // namespace yoso

@@ -1,0 +1,191 @@
+#pragma once
+// Clang thread-safety annotations + annotated synchronization primitives.
+//
+// Under clang the YOSO_* macros expand to the thread-safety-analysis
+// attributes, so the lock discipline DESIGN.md §9 states in prose is checked
+// at compile time by -Wthread-safety (enabled, with -Werror, by the clang CI
+// job; see DESIGN.md §11 for the conventions).  Under gcc every macro is a
+// no-op, so the tree builds identically there — the annotations cost nothing
+// at runtime either way.
+//
+// Three primitives build on the macros:
+//
+//   Mutex / MutexLock      an annotated std::mutex and its scoped guard;
+//                          Mutex::wait(cv) lets a condition variable block
+//                          while the analysis still tracks the capability.
+//   ThreadRole /           a *fictional* capability (no lock at runtime)
+//   ThreadRoleGuard        naming a serial execution context, e.g. "the
+//                          search coordinator thread".  State declared
+//                          YOSO_GUARDED_BY(role_) can only be touched where
+//                          a ThreadRoleGuard is visibly in scope — a worker
+//                          lambda, whose body the analysis checks as its own
+//                          function with an empty capability set, fails to
+//                          compile.  This is how FastEvaluator's memo cache
+//                          encodes "main-thread-only" (core/evaluator.h).
+//   Synchronized<T>        a value merged with the mutex that guards it;
+//                          access only through with_lock(), so unguarded
+//                          reads are unrepresentable rather than diagnosed.
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define YOSO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define YOSO_THREAD_ANNOTATION(x)  // no-op under gcc and others
+#endif
+
+// Type attributes.
+#define YOSO_CAPABILITY(x) YOSO_THREAD_ANNOTATION(capability(x))
+#define YOSO_SCOPED_CAPABILITY YOSO_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes.
+#define YOSO_GUARDED_BY(x) YOSO_THREAD_ANNOTATION(guarded_by(x))
+#define YOSO_PT_GUARDED_BY(x) YOSO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes.
+#define YOSO_REQUIRES(...) \
+  YOSO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define YOSO_REQUIRES_SHARED(...) \
+  YOSO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define YOSO_ACQUIRE(...) \
+  YOSO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define YOSO_ACQUIRE_SHARED(...) \
+  YOSO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define YOSO_RELEASE(...) \
+  YOSO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define YOSO_RELEASE_SHARED(...) \
+  YOSO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define YOSO_TRY_ACQUIRE(...) \
+  YOSO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define YOSO_EXCLUDES(...) YOSO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define YOSO_ASSERT_CAPABILITY(x) \
+  YOSO_THREAD_ANNOTATION(assert_capability(x))
+#define YOSO_RETURN_CAPABILITY(x) YOSO_THREAD_ANNOTATION(lock_returned(x))
+#define YOSO_NO_THREAD_SAFETY_ANALYSIS \
+  YOSO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace yoso {
+
+/// std::mutex carrying the `capability` attribute so the analysis can track
+/// it.  Satisfies BasicLockable, so std::lock_guard etc. still work, but
+/// prefer MutexLock, which keeps the analysis informed.
+class YOSO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() YOSO_ACQUIRE() { m_.lock(); }
+  void unlock() YOSO_RELEASE() { m_.unlock(); }
+  bool try_lock() YOSO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Blocks on `cv` with this (held) mutex released for the duration of the
+  /// wait, exactly like std::condition_variable::wait.  The mutex is held
+  /// again when this returns, which is also what the analysis assumes — the
+  /// release/reacquire inside the wait is invisible to it, the same
+  /// compromise every annotated mutex + condvar pairing makes.
+  void wait(std::condition_variable& cv) YOSO_REQUIRES(this) {
+    std::unique_lock<std::mutex> relock(m_, std::adopt_lock);
+    cv.wait(relock);
+    relock.release();  // ownership stays with the caller's guard
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock for Mutex (the std::lock_guard shape, annotation-aware).
+class YOSO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) YOSO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() YOSO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// A fictional capability: nothing is locked at runtime (acquire/release are
+/// empty inline functions), but to the analysis it is a mutex like any
+/// other.  Declaring state YOSO_GUARDED_BY(role) therefore means "only code
+/// lexically inside a ThreadRoleGuard scope may touch this" — and since a
+/// lambda body is analysed as its own function that holds nothing, handing
+/// such state to a ThreadPool worker is a compile error under clang, not a
+/// comment in a header.  Used for coordinator-only state: the evaluator memo
+/// cache, finalist pool, search-loop counters and the RL parameter store.
+class YOSO_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void acquire() YOSO_ACQUIRE() {}
+  void release() YOSO_RELEASE() {}
+};
+
+/// Scope marker asserting "this code runs in `role`'s serial context".
+class YOSO_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole& role) YOSO_ACQUIRE(role)
+      : role_(role) {
+    role_.acquire();
+  }
+  ~ThreadRoleGuard() YOSO_RELEASE() { role_.release(); }
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+/// A value fused with the mutex that guards it.  All access goes through
+/// with_lock(), so the guarded_by discipline holds by construction — there
+/// is no way to name the value without the lock.  Intended for small
+/// critical sections (the thread-pool error slot is the house example);
+/// anything long-lived should hold a MutexLock and structure the code so
+/// the analysis sees it.
+template <typename T>
+class Synchronized {
+ public:
+  Synchronized() = default;
+  explicit Synchronized(T value) : value_(std::move(value)) {}
+
+  Synchronized(const Synchronized&) = delete;
+  Synchronized& operator=(const Synchronized&) = delete;
+
+  /// Runs fn(value) with the lock held; returns fn's result.
+  template <typename Fn>
+  decltype(auto) with_lock(Fn&& fn) {
+    MutexLock lock(mutex_);
+    return std::forward<Fn>(fn)(value_);
+  }
+
+  template <typename Fn>
+  decltype(auto) with_lock(Fn&& fn) const {
+    MutexLock lock(mutex_);
+    return std::forward<Fn>(fn)(value_);
+  }
+
+  /// Copies the value out under the lock.
+  T load() const {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+  /// Replaces the value under the lock.
+  void store(T value) {
+    MutexLock lock(mutex_);
+    value_ = std::move(value);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  T value_ YOSO_GUARDED_BY(mutex_);
+};
+
+}  // namespace yoso

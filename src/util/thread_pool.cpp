@@ -14,10 +14,17 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
-  std::mutex mutex;
+
+  // First-failure capture: workers race to record, lowest index wins so the
+  // rethrown exception matches what a serial loop would have thrown.
+  struct ErrorSlot {
+    std::size_t index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  Synchronized<ErrorSlot> error;
+
+  Mutex mutex;  // pairs with `finished`
   std::condition_variable finished;
-  std::size_t error_index = std::numeric_limits<std::size_t>::max();
-  std::exception_ptr error;
 };
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -28,7 +35,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -49,16 +56,17 @@ void ThreadPool::run_chunk(Job& job) {
       try {
         (*job.fn)(job.begin + i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job.mutex);
-        if (job.begin + i < job.error_index) {
-          job.error_index = job.begin + i;
-          job.error = std::current_exception();
-        }
+        job.error.with_lock([&](Job::ErrorSlot& slot) {
+          if (job.begin + i < slot.index) {
+            slot.index = job.begin + i;
+            slot.error = std::current_exception();
+          }
+        });
         job.failed.store(true, std::memory_order_relaxed);
       }
     }
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      MutexLock lock(job.mutex);
       job.finished.notify_all();
     }
   }
@@ -69,8 +77,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) mutex_.wait(wake_);
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -106,7 +114,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   job->count = count;
   job->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = job;
     ++generation_;
   }
@@ -115,17 +123,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   run_chunk(*job);  // the caller is a worker too
 
   {
-    std::unique_lock<std::mutex> lock(job->mutex);
-    job->finished.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) == job->count;
-    });
+    MutexLock lock(job->mutex);
+    while (job->done.load(std::memory_order_acquire) != job->count)
+      job->mutex.wait(job->finished);
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = nullptr;
   }
   busy_.store(false, std::memory_order_release);
-  if (job->error) std::rethrow_exception(job->error);
+  const Job::ErrorSlot failure = job->error.load();
+  if (failure.error) std::rethrow_exception(failure.error);
 }
 
 }  // namespace yoso

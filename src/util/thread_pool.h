@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace yoso {
 
@@ -59,11 +60,13 @@ class ThreadPool {
   static void run_chunk(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::shared_ptr<Job> job_;       // posted job; workers copy the pointer
-  std::uint64_t generation_ = 0;   // bumped per posted job
-  bool stop_ = false;
+  Mutex mutex_;
+  std::condition_variable wake_;  // paired with mutex_
+  // Posted job (workers copy the pointer), its generation counter, and the
+  // shutdown flag — the coordinator/worker handshake state.
+  std::shared_ptr<Job> job_ YOSO_GUARDED_BY(mutex_);
+  std::uint64_t generation_ YOSO_GUARDED_BY(mutex_) = 0;
+  bool stop_ YOSO_GUARDED_BY(mutex_) = false;
   std::atomic<bool> busy_{false};  // detects re-entrant parallel_for
 };
 

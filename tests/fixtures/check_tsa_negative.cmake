@@ -1,0 +1,33 @@
+# Runs the thread-safety negative fixture through clang and asserts it is
+# REJECTED with the expected -Wthread-safety diagnostic.  Registered as ctest
+# `tsa.negative` only when the toolchain is clang (gcc parses the annotation
+# macros away, so there the fixture is meaningless).
+#
+# Inputs: CXX (clang++ path), SRC_DIR (repo root).
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only
+          -I${SRC_DIR}/src
+          -DYOSO_TSA_NEGATIVE_FIXTURE
+          -Wthread-safety -Wthread-safety-beta -Werror
+          ${SRC_DIR}/tests/fixtures/tsa_negative_cache_access.cpp
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "tsa.negative: the fixture COMPILED — a worker lambda touching "
+    "FastEvaluator::cache_ is no longer rejected by -Wthread-safety; the "
+    "coordinator_ guard on cache_ has regressed")
+endif()
+
+string(FIND "${err}${out}" "requires holding" diag_pos)
+if(diag_pos EQUAL -1)
+  message(FATAL_ERROR
+    "tsa.negative: the fixture failed to compile, but not with the expected "
+    "thread-safety diagnostic ('requires holding ...'); compiler said:\n"
+    "${err}")
+endif()
+
+message(STATUS
+  "tsa.negative: worker access to cache_ correctly rejected by clang")

@@ -1,0 +1,31 @@
+// Negative compile fixture for the thread-safety analysis (ctest
+// `tsa.negative`, clang only — see tests/fixtures/check_tsa_negative.cmake).
+//
+// FastEvaluator::cache_ is coordinator-only state, expressed as
+// YOSO_GUARDED_BY(coordinator_).  This TU deliberately violates the rule:
+// it defines the fixture hook the header declares under
+// YOSO_TSA_NEGATIVE_FIXTURE and touches the cache from a worker lambda.
+// Under `clang++ -Wthread-safety -Werror` this file MUST FAIL to compile
+// with a "requires holding role 'coordinator_'" diagnostic; the ctest
+// asserts both the failure and the diagnostic text.  If this file ever
+// compiles, the compile-time proof that workers cannot reach the memo cache
+// is gone — that is the regression being guarded.
+//
+// (The hook exists because cache_ is private: the violation has to live in
+// a member function, and we want it excluded from normal builds.)
+
+#ifndef YOSO_TSA_NEGATIVE_FIXTURE
+#error "compile with -DYOSO_TSA_NEGATIVE_FIXTURE (see check_tsa_negative.cmake)"
+#endif
+
+#include "core/evaluator.h"
+
+namespace yoso {
+
+void FastEvaluator::tsa_fixture_worker_touches_cache() {
+  pool().parallel_for(0, 4, [&](std::size_t) {
+    cache_.clear();  // BAD: coordinator-guarded state from a worker lambda
+  });
+}
+
+}  // namespace yoso

@@ -1,0 +1,164 @@
+// Runtime behaviour of the annotated synchronization primitives
+// (util/thread_annotations.h).  The compile-time half of the contract —
+// -Wthread-safety rejecting unguarded access — is exercised by the
+// clang-gated `tsa.negative` ctest; here we pin down that the wrappers
+// actually exclude, wake and compose correctly at runtime.
+
+#include "util/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace yoso {
+namespace {
+
+TEST(SynchronizedTest, WithLockReturnsFunctionResult) {
+  Synchronized<int> value(41);
+  const int out = value.with_lock([](int& v) { return ++v; });
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(SynchronizedTest, ConstWithLockSeesConstValue) {
+  const Synchronized<std::string> value(std::string("abc"));
+  const std::size_t n =
+      value.with_lock([](const std::string& s) { return s.size(); });
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(SynchronizedTest, StoreReplacesValue) {
+  Synchronized<std::vector<int>> value;
+  value.store({1, 2, 3});
+  EXPECT_EQ(value.load().size(), 3u);
+}
+
+TEST(SynchronizedTest, ConcurrentIncrementsAreNotLost) {
+  Synchronized<long> counter(0);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i)
+        counter.with_lock([](long& v) { ++v; });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.load(), static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(SynchronizedTest, VoidReturningFunctionCompiles) {
+  Synchronized<int> value(1);
+  value.with_lock([](int& v) { v = 7; });
+  EXPECT_EQ(value.load(), 7);
+}
+
+TEST(MutexTest, MutexLockExcludes) {
+  Mutex mu;
+  int shared = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockReflectsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  std::thread contender([&] { EXPECT_FALSE(mu.try_lock()); });
+  contender.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexTest, WaitBlocksUntilNotified) {
+  Mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  std::thread producer([&] {
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+
+  {
+    MutexLock lock(mu);
+    while (!ready) mu.wait(cv);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(MutexTest, WaitReleasesTheMutexWhileBlocked) {
+  // If Mutex::wait failed to release the lock, the producer below could
+  // never acquire it to flip `ready` and the wait would hang: this test
+  // completing at all is the assertion.
+  Mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  int producer_side_effect = 0;
+
+  std::thread producer([&] {
+    MutexLock lock(mu);  // only acquirable while the waiter sits in wait()
+    ready = true;
+    producer_side_effect = 1;
+    cv.notify_one();
+  });
+
+  {
+    MutexLock lock(mu);
+    while (!ready) mu.wait(cv);
+  }
+  producer.join();
+  EXPECT_EQ(producer_side_effect, 1);
+}
+
+TEST(ThreadRoleTest, GuardIsANoOpAtRuntime) {
+  // The role is a compile-time-only capability: guards nest and interleave
+  // freely with zero runtime effect.
+  ThreadRole role;
+  ThreadRoleGuard outer(role);
+  {
+    ThreadRoleGuard inner(role);
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPoolErrorTest, LowestIndexExceptionStillWinsAfterRefactor) {
+  // The error slot moved into a Synchronized<ErrorSlot>; the contract —
+  // rethrow the exception a serial loop would have thrown first — must
+  // survive the change.
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for(0, 64, [](std::size_t i) {
+      if (i % 7 == 3) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "parallel_for should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,49 @@
+// Fixture: parallel-region purity.  Writes to namespace-scope mutable state
+// reachable from a parallel_for body — directly or through the call graph —
+// are a data race and make results depend on the thread count.  Only the
+// AST-grade engines own this rule (it needs scope classification plus a
+// call-graph walk), so the violations are tagged `[ast]` and the regex
+// engine must report nothing in this file.
+
+namespace yoso {
+
+struct Pool {
+  template <typename Fn>
+  void parallel_for(unsigned long begin, unsigned long end, Fn&& fn) {
+    for (unsigned long i = begin; i < end; ++i) fn(i);
+  }
+};
+
+namespace {
+
+long g_eval_count = 0;  // namespace-scope mutable state the rule protects
+
+void bump_counter() {
+  ++g_eval_count;  // writes the global: directly impure
+}
+
+double record_and_scale(double x) {
+  bump_counter();  // calls a writer: transitively impure
+  return x * 2.0;
+}
+
+}  // namespace
+
+double run_batch(Pool& pool, double* out, unsigned long n) {
+  pool.parallel_for(0, n, [&](unsigned long i) {
+    g_eval_count += 1;               // expect-lint[ast]: parallel-purity
+    out[i] = record_and_scale(1.0);  // expect-lint[ast]: parallel-purity
+  });
+  return static_cast<double>(g_eval_count);
+}
+
+// Not a violation: the body writes only caller-owned slots indexed by i —
+// the canonical deterministic pattern the evaluator uses.
+double run_batch_pure(Pool& pool, double* out, unsigned long n) {
+  pool.parallel_for(0, n, [&](unsigned long i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  return out[0];
+}
+
+}  // namespace yoso

@@ -1,0 +1,97 @@
+// Fixture: unordered containers hidden behind typedef/using aliases.  The
+// v1 regex engine resolves neither, so every violation here is tagged
+// `[ast]`: the semantic and clang engines must catch it AND the regex
+// engine must provably miss it — the self-test fails if regex ever "sees"
+// one of these, because then the fixture no longer demonstrates why the
+// AST-grade engines exist.
+//
+// Hermetic std:: stand-ins keep the fixture parseable by libclang without
+// system headers; the canonical type names are what the engines key on.
+
+namespace std {
+
+template <typename K, typename V>
+struct umap_entry {
+  K first;
+  V second;
+};
+
+template <typename K, typename V>
+struct unordered_map {
+  using value_type = umap_entry<K, V>;
+  struct iterator {
+    value_type* pos;
+    iterator& operator++() { return *this; }
+    bool operator!=(const iterator& other) const { return pos != other.pos; }
+    value_type& operator*() const { return *pos; }
+  };
+  iterator begin() const { return iterator{nullptr}; }
+  iterator end() const { return iterator{nullptr}; }
+  iterator find(const K&) const { return iterator{nullptr}; }
+};
+
+template <typename K, typename V>
+struct map {
+  using value_type = umap_entry<K, V>;
+  struct iterator {
+    value_type* pos;
+    iterator& operator++() { return *this; }
+    bool operator!=(const iterator& other) const { return pos != other.pos; }
+    value_type& operator*() const { return *pos; }
+  };
+  iterator begin() const { return iterator{nullptr}; }
+  iterator end() const { return iterator{nullptr}; }
+};
+
+}  // namespace std
+
+namespace yoso {
+
+using CacheTable = std::unordered_map<int, double>;
+typedef std::unordered_map<int, int> HitCounts;
+using SortedTable = std::map<int, double>;
+
+double sum_cache(const CacheTable& table) {
+  double total = 0.0;
+  for (const auto& entry : table) {  // expect-lint[ast]: unordered-iter
+    total += entry.second;
+  }
+  return total;
+}
+
+int walk_hits(HitCounts& hits) {
+  int n = 0;
+  for (auto it = hits.begin(); it != hits.end(); ++it) {  // expect-lint[ast]: unordered-iter
+    ++n;
+  }
+  return n;
+}
+
+CacheTable copy_cache(const CacheTable& table) {
+  return table;
+}
+
+double sum_twice(const CacheTable& table) {
+  double total = 0.0;
+  for (const auto& entry : copy_cache(table)) {  // expect-lint[ast]: unordered-iter
+    total += entry.second;
+  }
+  return total;
+}
+
+// Not violations: iteration over an ordered alias, and unordered lookups
+// that never depend on iteration order.
+double sum_sorted(const SortedTable& totals) {
+  double total = 0.0;
+  for (const auto& entry : totals) {
+    total += entry.second;
+  }
+  return total;
+}
+
+bool cache_has(const CacheTable& table, int key) {
+  auto hit = table.find(key);
+  return hit != table.end();
+}
+
+}  // namespace yoso

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""yoso-format: formatting gate for the C++ tree.
+
+Two layers:
+
+  clang-format  when the tool is installed (or named via $CLANG_FORMAT),
+                `--fix` rewrites sources against .clang-format and `--check`
+                runs --dry-run -Werror.  Developer convenience — clang-format
+                output drifts between major versions, so it is NOT what CI
+                pins.
+  builtin       a machine-checkable subset that needs no tools and never
+                drifts: no CRLF line endings, no tabs in indentation, no
+                trailing whitespace, exactly one newline at end of file.
+                `--builtin-only` restricts to this layer; the ctest
+                `format.check` and the CI formatting gate both pin it so the
+                gate holds identically everywhere.
+
+Exit status: 0 clean, 1 when --check finds issues (each printed as
+file:line: message), 2 on usage errors.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".h", ".hpp")
+# Non-C++ text files get the whitespace subset too (no tab rule — tabs are
+# idiomatic in some of these), scanned across the whole repo.  Hidden dirs
+# (except .github) and build trees are skipped.
+TEXT_EXTENSIONS = (".py", ".cmake", ".sh", ".yml", ".yaml", ".md")
+SKIP_DIRS = ("build",)
+
+
+def iter_cpp_files(root):
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [x for x in dirnames if not x.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def iter_text_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [x for x in dirnames
+                       if not x.startswith(SKIP_DIRS) and x != "__pycache__"
+                       and (not x.startswith(".") or x == ".github")]
+        for name in sorted(filenames):
+            if name.endswith(TEXT_EXTENSIONS) or name == "CMakeLists.txt":
+                yield os.path.join(dirpath, name)
+
+
+def builtin_issues(text, tab_rule=True):
+    """Returns (fixed_text, [(line, message)])."""
+    issues = []
+    lines = text.split("\n")
+    fixed_lines = []
+    for idx, line in enumerate(lines, start=1):
+        fixed = line
+        if fixed.endswith("\r"):
+            issues.append((idx, "CRLF line ending"))
+            fixed = fixed.rstrip("\r")
+        stripped = fixed.rstrip(" \t")
+        if stripped != fixed:
+            issues.append((idx, "trailing whitespace"))
+            fixed = stripped
+        indent = fixed[:len(fixed) - len(fixed.lstrip(" \t"))]
+        if tab_rule and "\t" in indent:
+            issues.append((idx, "tab in indentation"))
+            fixed = indent.replace("\t", "  ") + fixed.lstrip(" \t")
+        fixed_lines.append(fixed)
+    # Exactly one newline at end of file.
+    while fixed_lines and fixed_lines[-1] == "":
+        fixed_lines.pop()
+    fixed_text = "\n".join(fixed_lines) + "\n"
+    if not text.endswith("\n"):
+        issues.append((len(lines), "missing newline at end of file"))
+    elif text != fixed_text and not issues:
+        issues.append((len(lines), "multiple newlines at end of file"))
+    elif text.endswith("\n\n"):
+        issues.append((len(lines), "multiple newlines at end of file"))
+    return fixed_text, issues
+
+
+def run_builtin(files, root, fix, tab_rule=True):
+    bad = 0
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        fixed, issues = builtin_issues(text, tab_rule=tab_rule)
+        if fixed == text:
+            continue
+        if fix:
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(fixed)
+            print(f"yoso-format: fixed {rel}")
+        else:
+            for line, msg in issues or [(1, "formatting differs")]:
+                print(f"{rel}:{line}: {msg}")
+            bad += 1
+    return bad
+
+
+def find_clang_format():
+    env = os.environ.get("CLANG_FORMAT")
+    if env and shutil.which(env):
+        return env
+    return shutil.which("clang-format")
+
+
+def run_clang_format(tool, files, fix):
+    args = [tool, "--style=file"]
+    args += ["-i"] if fix else ["--dry-run", "-Werror"]
+    bad = 0
+    # Chunk the file list to keep command lines bounded.
+    for i in range(0, len(files), 50):
+        proc = subprocess.run(args + files[i:i + 50],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            bad += 1
+    return bad
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--fix", action="store_true",
+                      help="rewrite files in place")
+    mode.add_argument("--check", action="store_true",
+                      help="report issues, exit 1 if any")
+    parser.add_argument("--builtin-only", action="store_true",
+                       help="skip clang-format; enforce only the builtin "
+                            "subset (what CI and ctest pin)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    files = list(iter_cpp_files(root))
+    if not files:
+        print("yoso-format: no C++ sources found", file=sys.stderr)
+        return 2
+
+    bad = run_builtin(files, root, fix=args.fix)
+    text_files = list(iter_text_files(root))
+    bad += run_builtin(text_files, root, fix=args.fix, tab_rule=False)
+
+    tool = None if args.builtin_only else find_clang_format()
+    if tool:
+        bad += run_clang_format(tool, files, fix=args.fix)
+    elif not args.builtin_only:
+        print("yoso-format: clang-format not found; builtin subset only")
+
+    if args.check:
+        layer = "builtin subset" if (args.builtin_only or not tool) \
+            else "clang-format + builtin subset"
+        if bad:
+            print(f"yoso-format: {bad} file(s)/batch(es) need formatting "
+                  f"({layer}); run `cmake --build build --target format`")
+            return 1
+        print(f"yoso-format: {len(files) + len(text_files)} file(s) clean "
+              f"({layer})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

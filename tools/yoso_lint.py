@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""yoso-lint: project-specific determinism / thread-safety checker.
+"""yoso-lint v2: project-specific determinism / thread-safety checker.
 
 Machine-enforces the rules DESIGN.md states in prose (§9 threading model,
-§10 correctness tooling).  The search loop is multithreaded and results must
-be bit-identical at any thread count, so the classic sources of silent
+§10/§11 correctness tooling).  The search loop is multithreaded and results
+must be bit-identical at any thread count, so the classic sources of silent
 nondeterminism are banned outright:
 
   global-rng        std::rand / srand / random_device / time()-seeded RNG
@@ -18,22 +18,47 @@ nondeterminism are banned outright:
                     run.  Use std::map or sort the keys first.
   naked-new         raw `new` / `delete` — ownership must be expressed with
                     containers or smart pointers (make_unique/make_shared).
+  parallel-purity   writes to namespace-scope mutable state reachable from a
+                    parallel_for body (directly or through the call graph) —
+                    a data race and a determinism leak at once.
   header-self-contained (with --check-headers)
                     every header under src/ must compile standalone, so any
                     TU can include it first without hidden include-order
                     dependencies.
+
+v2 replaces the v1 regex-only scanner with tiered engines:
+
+  regex     the v1 line scanner.  Fast, zero dependencies, blind through
+            typedefs, `auto`, templates and call graphs.  Kept as the
+            fallback of last resort so CI without clang still gates.
+  semantic  pure-Python AST-grade analysis: resolves typedef/using aliases
+            and function return types, tracks scopes with a brace
+            classifier, builds a per-file call graph, and walks it from
+            parallel_for bodies for the purity rule.  No dependencies, so
+            this is the default everywhere.
+  clang     libclang (clang.cindex) over the CMake-exported
+            compile_commands.json: canonical-type resolution, so aliases,
+            `auto` and template instantiations are seen exactly as the
+            compiler sees them.  Selected automatically when libclang is
+            importable and a compile database is present.
+
+`--engine auto` (the default) picks clang > semantic.  `--engine regex`
+exists for comparison and for the self-test, which uses it to prove the
+fixtures under tools/lint_fixtures/ that regex *cannot* catch
+(`expect-lint[ast]: ...`) stay caught by the AST-grade engines.
 
 Escape hatch: append `// yoso-lint: allow(<rule>)` to the offending line (or
 the line directly above it) to suppress one rule there.  Allows are counted
 and capped (--max-allows, default 5) so the hatch stays an exception, not a
 policy.
 
-Exit status: 0 when no violations (and the allow budget holds), 1 otherwise.
-`--self-test` checks the linter itself against tools/lint_fixtures/, where
-every seeded violation is annotated with `// expect-lint: <rule>`.
+Exit status: 0 when no violations (and the allow budget holds), 1 otherwise,
+2 on configuration errors (e.g. --engine clang without libclang).
 """
 
 import argparse
+import glob
+import json
 import os
 import re
 import subprocess
@@ -45,6 +70,7 @@ RULES = (
     "static-state",
     "unordered-iter",
     "naked-new",
+    "parallel-purity",
     "header-self-contained",
 )
 
@@ -52,7 +78,10 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".h", ".hpp")
 
 ALLOW_RE = re.compile(r"//\s*yoso-lint:\s*allow\(([a-z-]+)\)")
-EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
+EXPECT_RE = re.compile(r"//\s*expect-lint(?:\[([a-z,]+)\])?:\s*([a-z-]+)")
+
+UNORDERED_NAME_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\b")
 
 
 class Violation:
@@ -141,6 +170,12 @@ def collect_allows(raw_lines):
     return allows
 
 
+# ---------------------------------------------------------------------------
+# Shared per-line rules (global-rng, static-state, naked-new) — identical in
+# the regex and semantic engines; the clang engine re-derives them from the
+# AST so typedef'd aliases cannot hide them either.
+# ---------------------------------------------------------------------------
+
 GLOBAL_RNG_RE = re.compile(
     r"(?:(?<![\w:])(?:std::)?s?rand\s*\(|\brandom_device\b"
     r"|(?<![\w:])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)?\s*\))"
@@ -160,6 +195,15 @@ IDENT_RE = re.compile(r"\b(\w+)\b")
 
 NAKED_NEW_RE = re.compile(r"(?<![\w_])new\b(?!\s*\()")
 NAKED_DELETE_RE = re.compile(r"(?<![\w_])delete\b(\s*\[\s*\])?\s")
+
+
+def path_scopes(rel):
+    norm = rel.replace(os.sep, "/")
+    return {
+        "in_util": norm.startswith("src/util/"),
+        "is_rng_impl": bool(re.match(r"src/util/rng\.(h|cpp)$", norm)),
+        "in_src": norm.startswith("src/"),
+    }
 
 
 def is_function_decl(line, m_end):
@@ -185,23 +229,12 @@ def is_function_decl(line, m_end):
     return m.group(2) == "("
 
 
-def scan_file(path, rel, text):
-    raw_lines = text.splitlines()
-    clean_lines = strip_comments_and_strings(text).splitlines()
+def scan_lines_shared(rel, clean_lines, scopes):
+    """global-rng / static-state / naked-new, line by line."""
     violations = []
-
-    in_util = rel.replace(os.sep, "/").startswith("src/util/")
-    is_rng_impl = re.match(r"src/util/rng\.(h|cpp)$", rel.replace(os.sep, "/"))
-    in_src = rel.replace(os.sep, "/").startswith("src/")
-
-    unordered_vars = set()
-    for line in clean_lines:
-        for m in UNORDERED_DECL_RE.finditer(line):
-            unordered_vars.add(m.group(1))
-
     for idx, line in enumerate(clean_lines, start=1):
         # global-rng: everywhere except the seedable RNG's own implementation.
-        if not is_rng_impl:
+        if not scopes["is_rng_impl"]:
             m = GLOBAL_RNG_RE.search(line)
             if m:
                 violations.append(Violation(
@@ -210,7 +243,7 @@ def scan_file(path, rel, text):
                     " — route randomness through util/rng (yoso::Rng)"))
 
         # static-state: src/ outside util/ only.
-        if in_src and not in_util:
+        if scopes["in_src"] and not scopes["in_util"]:
             m = STATIC_DECL_RE.search(line)
             if m and not STATIC_EXEMPT_RE.search(line):
                 if not is_function_decl(line, m.end()):
@@ -219,25 +252,6 @@ def scan_file(path, rel, text):
                         "mutable static/thread_local state — hidden state "
                         "breaks run-to-run reproducibility and races under "
                         "the parallel evaluator"))
-
-        # unordered-iter: iteration over a container declared unordered here.
-        mfor = RANGE_FOR_RE.search(line)
-        if mfor:
-            range_expr = mfor.group(1)
-            idents = set(IDENT_RE.findall(range_expr))
-            hit = idents & unordered_vars
-            if hit:
-                violations.append(Violation(
-                    rel, idx, "unordered-iter",
-                    f"range-for over unordered container `{sorted(hit)[0]}` "
-                    "— iteration order is implementation-defined"))
-        for var in unordered_vars:
-            if re.search(rf"\b{re.escape(var)}\s*\.\s*(begin|cbegin)\s*\(",
-                         line):
-                violations.append(Violation(
-                    rel, idx, "unordered-iter",
-                    f"iterator walk over unordered container `{var}` — "
-                    "iteration order is implementation-defined"))
 
         # naked-new / naked-delete.
         if NAKED_NEW_RE.search(line):
@@ -249,11 +263,694 @@ def scan_file(path, rel, text):
             violations.append(Violation(
                 rel, idx, "naked-new",
                 "raw `delete` — ownership belongs in a smart pointer"))
+    return violations
 
-    # Apply escape hatch.
+
+def unordered_iter_violations(rel, clean_lines, unordered_vars,
+                              unordered_fns=()):
+    """Range-for / iterator-walk findings over a known set of container
+    variable names (and optionally functions returning unordered)."""
+    violations = []
+    for idx, line in enumerate(clean_lines, start=1):
+        mfor = RANGE_FOR_RE.search(line)
+        if mfor:
+            range_expr = mfor.group(1)
+            idents = set(IDENT_RE.findall(range_expr))
+            hit = idents & set(unordered_vars)
+            if hit:
+                violations.append(Violation(
+                    rel, idx, "unordered-iter",
+                    f"range-for over unordered container `{sorted(hit)[0]}` "
+                    "— iteration order is implementation-defined"))
+            else:
+                called = {m.group(1) for m in
+                          re.finditer(r"\b(\w+)\s*\(", range_expr)}
+                fn_hit = called & set(unordered_fns)
+                if fn_hit:
+                    violations.append(Violation(
+                        rel, idx, "unordered-iter",
+                        f"range-for over `{sorted(fn_hit)[0]}()` which "
+                        "returns an unordered container — iteration order is "
+                        "implementation-defined"))
+        for var in unordered_vars:
+            if re.search(rf"\b{re.escape(var)}\s*\.\s*(begin|cbegin)\s*\(",
+                         line):
+                violations.append(Violation(
+                    rel, idx, "unordered-iter",
+                    f"iterator walk over unordered container `{var}` — "
+                    "iteration order is implementation-defined"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Engine: regex (the v1 scanner, unchanged behaviour)
+# ---------------------------------------------------------------------------
+
+class RegexEngine:
+    name = "regex"
+
+    def scan_file(self, rel, text):
+        clean_lines = strip_comments_and_strings(text).splitlines()
+        scopes = path_scopes(rel)
+        unordered_vars = set()
+        for line in clean_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                unordered_vars.add(m.group(1))
+        violations = scan_lines_shared(rel, clean_lines, scopes)
+        violations.extend(
+            unordered_iter_violations(rel, clean_lines, unordered_vars))
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# Engine: semantic (pure-Python AST-grade analysis)
+# ---------------------------------------------------------------------------
+
+ALIAS_USING_RE = re.compile(r"\busing\s+(\w+)\s*=\s*([^;]+);")
+ALIAS_TYPEDEF_RE = re.compile(r"\btypedef\s+([^;]+?)\s+(\w+)\s*;")
+
+WRITE_RE = re.compile(
+    r"\b(\w+)\s*(?:\+\+|--|(?<![=!<>+\-*/%&|^])=(?!=)"
+    r"|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=)"
+    r"|(?:\+\+|--)\s*(\w+)")
+
+CALL_RE = re.compile(r"\b(\w+)\s*\(")
+CALL_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "catch", "assert", "defined", "static_cast", "const_cast",
+    "reinterpret_cast", "dynamic_cast", "noexcept",
+))
+
+NS_VAR_DECL_RE = re.compile(
+    r"^\s*(?:inline\s+|static\s+|thread_local\s+)*"
+    r"(?!const\b|constexpr\b|constinit\b|using\b|typedef\b|namespace\b"
+    r"|class\b|struct\b|enum\b|union\b|template\b|extern\b|friend\b"
+    r"|return\b|static_assert\b)"
+    r"[A-Za-z_][\w:<>,\s*&]*?[\s*&](\w+)\s*(?:=[^;]*|\{[^;()]*\})?;\s*$")
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "start")
+
+    def __init__(self, kind, name, start):
+        self.kind = kind    # namespace | class | function | block
+        self.name = name
+        self.start = start  # offset of the opening brace
+
+
+class SemanticEngine:
+    """AST-grade analysis without libclang: a brace/scope classifier plus
+    alias and return-type resolution and a per-file call graph.  Sees through
+    `typedef`/`using`, `auto`, and templates where the regex engine is blind;
+    powers the parallel-purity rule."""
+
+    name = "semantic"
+
+    # -- alias resolution ---------------------------------------------------
+
+    @staticmethod
+    def _collect_aliases(clean):
+        aliases = {}
+        for m in ALIAS_USING_RE.finditer(clean):
+            aliases[m.group(1)] = m.group(2)
+        for m in ALIAS_TYPEDEF_RE.finditer(clean):
+            aliases[m.group(2)] = m.group(1)
+        # Resolve transitively (aliases of aliases), bounded to avoid cycles.
+        for _ in range(4):
+            changed = False
+            for name, rhs in list(aliases.items()):
+                def sub(mm):
+                    return aliases[mm.group(0)]
+                new = re.sub(
+                    r"\b(" + "|".join(map(re.escape, aliases)) + r")\b",
+                    sub, rhs) if aliases else rhs
+                if new != rhs and name not in IDENT_RE.findall(new):
+                    aliases[name] = new
+                    changed = True
+            if not changed:
+                break
+        return aliases
+
+    @staticmethod
+    def _unordered_aliases(aliases):
+        return {name for name, rhs in aliases.items()
+                if UNORDERED_NAME_RE.search(rhs)}
+
+    # -- scope classification ----------------------------------------------
+
+    @staticmethod
+    def _classify_braces(clean):
+        """Returns (scopes_at, function_spans): for every opening-brace
+        offset its scope kind, and [(name, start, end)] for function-like
+        bodies.  Classification looks at the preamble between the previous
+        ';' / '{' / '}' and the brace."""
+        stack = []
+        scopes_at = {}
+        function_spans = []
+        boundary = 0
+        i, n = 0, len(clean)
+        while i < n:
+            c = clean[i]
+            if c in ";":
+                boundary = i + 1
+            elif c == "{":
+                preamble = clean[boundary:i]
+                kind, name = SemanticEngine._classify_preamble(preamble)
+                # A brace directly inside a class with no '(' is usually a
+                # member initializer — treat as block; close enough.
+                scopes_at[i] = kind
+                stack.append(_Scope(kind, name, i))
+                boundary = i + 1
+            elif c == "}":
+                if stack:
+                    scope = stack.pop()
+                    if scope.kind == "function" and scope.name:
+                        function_spans.append((scope.name, scope.start, i))
+                boundary = i + 1
+            i += 1
+        return scopes_at, function_spans
+
+    @staticmethod
+    def _classify_preamble(preamble):
+        p = preamble.strip()
+        if re.search(r"\bnamespace\b", p):
+            return "namespace", None
+        if re.search(r'\bextern\s*$', p):
+            return "namespace", None
+        m_class = re.match(r"^(?:template\s*<[^{]*>\s*)?"
+                           r"(?:class|struct|union|enum)\b", p)
+        if m_class:
+            return "class", None
+        if "=" in p.split("(")[0] and "(" not in p:
+            return "block", None  # brace initializer
+        # Function-ish: has a parameter list; name is the identifier before
+        # the last top-level '('.
+        if "(" in p:
+            flat = re.sub(r"<[^<>]*>", "", p)
+            m = None
+            for m in re.finditer(r"(~?\w+)\s*\(", flat):
+                pass
+            if m and m.group(1) not in ("if", "for", "while", "switch",
+                                        "catch"):
+                name = m.group(1).lstrip("~")
+                return "function", name
+            return "block", None
+        return "block", None
+
+    @staticmethod
+    def _scope_kind_stack(clean, offset, scopes_at):
+        """Kinds of all scopes enclosing `offset`."""
+        kinds = []
+        depth_stack = []
+        for i in range(offset):
+            c = clean[i]
+            if c == "{":
+                depth_stack.append(scopes_at.get(i, "block"))
+            elif c == "}":
+                if depth_stack:
+                    depth_stack.pop()
+        return depth_stack or kinds
+
+    # -- main scan ----------------------------------------------------------
+
+    def scan_file(self, rel, text):
+        clean = strip_comments_and_strings(text)
+        clean_lines = clean.splitlines()
+        scopes = path_scopes(rel)
+
+        violations = scan_lines_shared(rel, clean_lines, scopes)
+
+        aliases = self._collect_aliases(clean)
+        unordered_alias_names = self._unordered_aliases(aliases)
+
+        # Unordered variables: direct declarations (v1) + alias-typed
+        # declarations + `auto` bound to a known unordered variable.
+        unordered_vars = set()
+        for line in clean_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                unordered_vars.add(m.group(1))
+        for alias in unordered_alias_names:
+            for m in re.finditer(
+                    rf"\b{re.escape(alias)}\b\s*[&*]?\s*(\w+)\s*[;,)({{=]",
+                    clean):
+                unordered_vars.add(m.group(1))
+        for m in re.finditer(r"\bauto\s*[&*]?\s*(\w+)\s*=\s*([^;]+);", clean):
+            rhs_idents = set(IDENT_RE.findall(m.group(2)))
+            if rhs_idents & unordered_vars and not re.search(
+                    r"\.\s*(find|count|at|size|contains|emplace|insert|"
+                    r"erase)\b", m.group(2)):
+                unordered_vars.add(m.group(1))
+
+        # Functions returning unordered containers: `Ret name(...) {` where
+        # Ret resolves (through aliases) to an unordered container.
+        unordered_fns = set()
+        for m in re.finditer(
+                r"^[ \t]*((?:[\w:]+\s*(?:<[^;{}()]*>)?[\s&*]+))(\w+)"
+                r"\s*\([^;{}]*\)\s*(?:const\s*)?\{",
+                clean, re.MULTILINE):
+            ret = m.group(1)
+            ret_resolved = ret
+            for alias in unordered_alias_names:
+                if re.search(rf"\b{re.escape(alias)}\b", ret):
+                    ret_resolved = aliases[alias]
+            if UNORDERED_NAME_RE.search(ret_resolved):
+                unordered_fns.add(m.group(2))
+
+        violations.extend(unordered_iter_violations(
+            rel, clean_lines, unordered_vars, unordered_fns))
+
+        violations.extend(self._parallel_purity(rel, clean))
+        return violations
+
+    # -- parallel-region purity --------------------------------------------
+
+    @staticmethod
+    def _line_of(clean, offset):
+        return clean.count("\n", 0, offset) + 1
+
+    @staticmethod
+    def _match_close(clean, open_pos, open_ch="{", close_ch="}"):
+        depth = 0
+        for i in range(open_pos, len(clean)):
+            if clean[i] == open_ch:
+                depth += 1
+            elif clean[i] == close_ch:
+                depth -= 1
+                if depth == 0:
+                    return i
+        return len(clean) - 1
+
+    def _parallel_purity(self, rel, clean):
+        scopes_at, function_spans = self._classify_braces(clean)
+
+        # Namespace-scope mutable variables (the shared state the rule
+        # protects).  thread_local is exempt here — it is per-thread by
+        # construction (and already banned in src/ by static-state).
+        global_vars = set()
+        offset = 0
+        depth_stack = []
+        for raw_line in clean.splitlines(keepends=True):
+            at_ns_scope = all(k == "namespace" for k in depth_stack)
+            if at_ns_scope and "thread_local" not in raw_line:
+                m = NS_VAR_DECL_RE.match(raw_line.rstrip("\n"))
+                if m and "(" not in raw_line.split("=")[0]:
+                    global_vars.add(m.group(1))
+            for i, ch in enumerate(raw_line):
+                if ch == "{":
+                    depth_stack.append(scopes_at.get(offset + i, "block"))
+                elif ch == "}" and depth_stack:
+                    depth_stack.pop()
+            offset += len(raw_line)
+
+        if not global_vars:
+            return []
+
+        def writes_in(span_text):
+            found = {}
+            for m in WRITE_RE.finditer(span_text):
+                name = m.group(1) or m.group(2)
+                if name in global_vars:
+                    found.setdefault(name, m.start())
+            return found
+
+        def calls_in(span_text):
+            return {m.group(1) for m in CALL_RE.finditer(span_text)
+                    if m.group(1) not in CALL_KEYWORDS}
+
+        # Direct writers, then transitive closure over the call graph.
+        body_of = {}
+        for fn_name, start, end in function_spans:
+            body_of.setdefault(fn_name, []).append(clean[start:end])
+        impure = {fn for fn, bodies in body_of.items()
+                  if any(writes_in(b) for b in bodies)}
+        for _ in range(len(body_of)):
+            grew = False
+            for fn, bodies in body_of.items():
+                if fn in impure:
+                    continue
+                if any(calls_in(b) & impure for b in bodies):
+                    impure.add(fn)
+                    grew = True
+            if not grew:
+                break
+
+        violations = []
+        for m in re.finditer(r"\bparallel_for\s*\(", clean):
+            args_open = m.end() - 1
+            args_close = self._match_close(clean, args_open, "(", ")")
+            body_open = clean.find("{", args_open, args_close)
+            if body_open == -1:
+                continue
+            body_close = self._match_close(clean, body_open)
+            body = clean[body_open:body_close]
+            for name, rel_off in sorted(writes_in(body).items(),
+                                        key=lambda kv: kv[1]):
+                violations.append(Violation(
+                    rel, self._line_of(clean, body_open + rel_off),
+                    "parallel-purity",
+                    f"parallel_for body writes namespace-scope mutable "
+                    f"`{name}` — a data race and thread-count-dependent "
+                    "behaviour"))
+            for cm in CALL_RE.finditer(body):
+                callee = cm.group(1)
+                if callee in CALL_KEYWORDS or callee == "parallel_for":
+                    continue
+                if callee in impure:
+                    violations.append(Violation(
+                        rel, self._line_of(clean, body_open + cm.start()),
+                        "parallel-purity",
+                        f"parallel_for body calls `{callee}` which "
+                        "(transitively) writes namespace-scope mutable "
+                        "state — not pure, races under the pool"))
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# Engine: clang (libclang over compile_commands.json)
+# ---------------------------------------------------------------------------
+
+def find_libclang():
+    """Best-effort discovery of the libclang shared object."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None
+    try:
+        ci.Index.create()
+        return ci
+    except Exception:
+        pass
+    candidates = []
+    import ctypes.util
+    lib = ctypes.util.find_library("clang")
+    if lib:
+        candidates.append(lib)
+    for pattern in ("/usr/lib/llvm-*/lib/libclang.so*",
+                    "/usr/lib/llvm-*/lib/libclang-*.so*",
+                    "/usr/lib/*/libclang.so*",
+                    "/usr/lib/*/libclang-*.so*"):
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    for cand in candidates:
+        if "cpp" in os.path.basename(cand):
+            continue  # libclang-cpp is the C++ API, not the C API
+        try:
+            ci.Config.set_library_file(cand)
+            ci.Index.create()
+            return ci
+        except Exception:
+            ci.conf.lib = None  # reset and try the next candidate
+            ci.Config.loaded = False
+    return None
+
+
+class ClangEngine:
+    """libclang-backed analysis: rules resolved through canonical types, so
+    typedefs, `auto` and template instantiations cannot hide a container or
+    a static.  Uses per-file flags from compile_commands.json when given."""
+
+    name = "clang"
+
+    def __init__(self, cindex, compile_db=None):
+        self.ci = cindex
+        self.index = cindex.Index.create()
+        self.db = {}
+        if compile_db and os.path.isfile(compile_db):
+            with open(compile_db, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    path = os.path.normpath(
+                        os.path.join(entry["directory"], entry["file"]))
+                    args = self._clean_args(entry)
+                    self.db[path] = args
+
+    @staticmethod
+    def _clean_args(entry):
+        if "arguments" in entry:
+            args = list(entry["arguments"])[1:]
+        else:
+            args = entry.get("command", "").split()[1:]
+        cleaned, skip = [], False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", "-o"):
+                skip = a == "-o"
+                continue
+            if a.endswith((".cpp", ".cc", ".cxx", ".o")):
+                continue
+            cleaned.append(a)
+        return cleaned
+
+    def _args_for(self, path):
+        return self.db.get(os.path.normpath(os.path.abspath(path)),
+                           ["-std=c++20"])
+
+    def scan_file(self, rel, text, path=None):
+        ci = self.ci
+        path = path or rel
+        try:
+            tu = self.index.parse(
+                path, args=self._args_for(path),
+                unsaved_files=[(path, text)],
+                options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        except ci.TranslationUnitLoadError as e:
+            return [Violation(rel, 1, "parallel-purity",
+                              f"libclang failed to parse: {e}")]
+        scopes = path_scopes(rel)
+        violations = []
+        global_vars = set()
+        fn_writes_global = {}
+        fn_calls = {}
+        parallel_bodies = []
+
+        def canonical(node_type):
+            try:
+                return node_type.get_canonical().spelling
+            except Exception:
+                return ""
+
+        def in_this_file(node):
+            f = node.location.file
+            return f is not None and os.path.normpath(f.name) == \
+                os.path.normpath(path)
+
+        def tokens_text(node):
+            try:
+                return " ".join(t.spelling for t in node.get_tokens())
+            except Exception:
+                return ""
+
+        def visit(node, fn_stack):
+            k = node.kind
+            K = ci.CursorKind
+            here = in_this_file(node)
+
+            if k in (K.FUNCTION_DECL, K.CXX_METHOD, K.FUNCTION_TEMPLATE,
+                     K.CONSTRUCTOR, K.DESTRUCTOR, K.LAMBDA_EXPR):
+                fn_stack = fn_stack + [node.spelling or "<lambda>"]
+
+            if here:
+                if k == K.VAR_DECL:
+                    toks = tokens_text(node)
+                    is_static = re.search(r"\b(static|thread_local)\b", toks)
+                    is_immutable = re.search(
+                        r"\b(const|constexpr|constinit)\b", toks)
+                    sem = node.semantic_parent
+                    at_ns = sem is not None and sem.kind in (
+                        K.NAMESPACE, K.TRANSLATION_UNIT)
+                    if at_ns and not is_immutable and \
+                            "thread_local" not in toks:
+                        global_vars.add(node.spelling)
+                    if is_static and not is_immutable and \
+                            scopes["in_src"] and not scopes["in_util"]:
+                        violations.append(Violation(
+                            rel, node.location.line, "static-state",
+                            "mutable static/thread_local state — hidden "
+                            "state breaks run-to-run reproducibility and "
+                            "races under the parallel evaluator"))
+                elif k == K.CXX_NEW_EXPR:
+                    violations.append(Violation(
+                        rel, node.location.line, "naked-new",
+                        "raw `new` — use std::make_unique/make_shared or a "
+                        "container"))
+                elif k == K.CXX_DELETE_EXPR:
+                    violations.append(Violation(
+                        rel, node.location.line, "naked-new",
+                        "raw `delete` — ownership belongs in a smart "
+                        "pointer"))
+                elif k == K.CALL_EXPR:
+                    name = node.spelling
+                    if not scopes["is_rng_impl"] and name in (
+                            "rand", "srand", "time"):
+                        violations.append(Violation(
+                            rel, node.location.line, "global-rng",
+                            f"forbidden nondeterministic source `{name}` — "
+                            "route randomness through util/rng (yoso::Rng)"))
+                    if name in ("begin", "cbegin"):
+                        for ch in node.get_children():
+                            if UNORDERED_NAME_RE.search(canonical(ch.type)):
+                                violations.append(Violation(
+                                    rel, node.location.line, "unordered-iter",
+                                    "iterator walk over unordered container "
+                                    "— iteration order is implementation-"
+                                    "defined"))
+                                break
+                    if name == "parallel_for":
+                        parallel_bodies.append(node)
+                    if fn_stack:
+                        fn_calls.setdefault(fn_stack[-1], set()).add(name)
+                elif k in (K.TYPE_REF, K.DECL_REF_EXPR):
+                    if not scopes["is_rng_impl"] and \
+                            "random_device" in (node.spelling or ""):
+                        violations.append(Violation(
+                            rel, node.location.line, "global-rng",
+                            "forbidden nondeterministic source "
+                            "`random_device` — route randomness through "
+                            "util/rng (yoso::Rng)"))
+                elif k == K.CXX_FOR_RANGE_STMT:
+                    children = list(node.get_children())
+                    body = children[-1] if children else None
+                    for ch in children:
+                        if ch is body:
+                            continue
+                        if self._subtree_has_unordered(ch, canonical):
+                            violations.append(Violation(
+                                rel, node.location.line, "unordered-iter",
+                                "range-for over unordered container — "
+                                "iteration order is implementation-defined"))
+                            break
+
+            for ch in node.get_children():
+                visit(ch, fn_stack)
+
+        visit(tu.cursor, [])
+
+        # Call-graph purity: functions (by name) that write namespace-scope
+        # mutable state, then the closure over calls.
+        if global_vars:
+            for fn_name, start, end in self._function_extents(tu, path):
+                body = text[start:end]
+                writes = {m.group(1) or m.group(2)
+                          for m in WRITE_RE.finditer(body)}
+                if writes & global_vars:
+                    fn_writes_global[fn_name] = True
+            impure = {fn for fn, w in fn_writes_global.items() if w}
+            for _ in range(len(fn_calls)):
+                grew = False
+                for fn, callees in fn_calls.items():
+                    if fn not in impure and callees & impure:
+                        impure.add(fn)
+                        grew = True
+                if not grew:
+                    break
+            import bisect
+            for call in parallel_bodies:
+                # Re-join the call's tokens into scannable text, remembering
+                # which source line each character came from so findings land
+                # on the precise write/call line, not the call head.
+                try:
+                    toks = [(t.spelling, t.location.line)
+                            for t in call.get_tokens()]
+                except Exception:
+                    toks = []
+                parts, starts, pos = [], [], 0
+                for spelling, _ in toks:
+                    starts.append(pos)
+                    parts.append(spelling)
+                    pos += len(spelling) + 1
+                body_text = " ".join(parts)
+
+                def line_at(off, toks=toks, starts=starts, call=call):
+                    if not toks:
+                        return call.location.line
+                    return toks[bisect.bisect_right(starts, off) - 1][1]
+
+                for m in WRITE_RE.finditer(body_text):
+                    name = m.group(1) or m.group(2)
+                    if name in global_vars:
+                        violations.append(Violation(
+                            rel, line_at(m.start()), "parallel-purity",
+                            f"parallel_for body writes namespace-scope "
+                            f"mutable `{name}` — a data race and "
+                            "thread-count-dependent behaviour"))
+                for m in CALL_RE.finditer(body_text):
+                    if m.group(1) in impure:
+                        violations.append(Violation(
+                            rel, line_at(m.start()), "parallel-purity",
+                            f"parallel_for body calls `{m.group(1)}` which "
+                            "(transitively) writes namespace-scope mutable "
+                            "state — not pure, races under the pool"))
+        return violations
+
+    def _function_extents(self, tu, path):
+        K = self.ci.CursorKind
+        out = []
+
+        def walk(node):
+            if node.kind in (K.FUNCTION_DECL, K.CXX_METHOD,
+                             K.FUNCTION_TEMPLATE, K.CONSTRUCTOR):
+                f = node.location.file
+                if f and os.path.normpath(f.name) == os.path.normpath(path) \
+                        and node.is_definition():
+                    ext = node.extent
+                    out.append((node.spelling, ext.start.offset,
+                                ext.end.offset))
+            for ch in node.get_children():
+                walk(ch)
+
+        walk(tu.cursor)
+        return out
+
+    def _subtree_has_unordered(self, node, canonical):
+        if UNORDERED_NAME_RE.search(canonical(node.type)):
+            return True
+        return any(self._subtree_has_unordered(ch, canonical)
+                   for ch in node.get_children())
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def make_engine(choice, compile_db, for_self_test=False):
+    """Resolves --engine to an instance; returns (engine, note)."""
+    if choice == "regex":
+        return RegexEngine(), None
+    if choice == "clang":
+        ci = find_libclang()
+        if ci is None:
+            return None, ("--engine clang: libclang (python3 clang.cindex + "
+                          "libclang.so) is not available")
+        if not for_self_test and (
+                not compile_db or not os.path.isfile(compile_db)):
+            return None, ("--engine clang: compile database not found"
+                          f" ({compile_db or 'none given'}); configure with "
+                          "CMake first (compile_commands.json is exported "
+                          "unconditionally) and pass --compile-db")
+        return ClangEngine(ci, compile_db), None
+    if choice == "semantic":
+        return SemanticEngine(), None
+    # auto: clang when fully available, else semantic.
+    ci = find_libclang()
+    if ci is not None and compile_db and os.path.isfile(compile_db):
+        return ClangEngine(ci, compile_db), "engine: clang (auto)"
+    return SemanticEngine(), "engine: semantic (auto)"
+
+
+def scan_with_allows(engine, rel, text, path=None):
+    raw_lines = text.splitlines()
+    if isinstance(engine, ClangEngine):
+        violations = engine.scan_file(rel, text, path=path)
+    else:
+        violations = engine.scan_file(rel, text)
     allows = collect_allows(raw_lines)
     kept, used_allows = [], 0
+    seen = set()
     for v in violations:
+        key = (v.line, v.rule, v.message)
+        if key in seen:
+            continue  # engines may derive the same finding twice
+        seen.add(key)
         if v.rule in allows.get(v.line, set()):
             used_allows += 1
         else:
@@ -302,13 +999,15 @@ def check_headers(root, cxx):
     return violations
 
 
-def run_tree(root, check_hdrs, cxx, max_allows):
+def run_tree(root, engine, check_hdrs, cxx, max_allows, note=None):
+    if note:
+        print(f"yoso-lint: {note}")
     violations, total_allows = [], 0
     for path in iter_cpp_files(root):
         rel = os.path.relpath(path, root)
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
-        found, used = scan_file(path, rel, text)
+        found, used = scan_with_allows(engine, rel, text, path=path)
         violations.extend(found)
         total_allows += used
     if check_hdrs:
@@ -325,12 +1024,54 @@ def run_tree(root, check_hdrs, cxx, max_allows):
     return 1 if violations else 0
 
 
-def run_self_test(script_dir):
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+AST_ENGINES = ("semantic", "clang")
+
+
+def parse_expectations(text):
+    """Returns {engine_name: set((line, rule))}.  Untagged annotations apply
+    to every engine; `[ast]` means the AST-grade engines must catch it and
+    the regex engine must provably MISS it."""
+    per_engine = {"regex": set(), "semantic": set(), "clang": set()}
+    ast_only = set()
+    for idx, line in enumerate(text.splitlines(), start=1):
+        for m in EXPECT_RE.finditer(line):
+            tags, rule = m.group(1), m.group(2)
+            if not tags:
+                for s in per_engine.values():
+                    s.add((idx, rule))
+            else:
+                names = set()
+                for t in tags.split(","):
+                    names.update(AST_ENGINES if t == "ast" else (t,))
+                for name in names:
+                    per_engine.setdefault(name, set()).add((idx, rule))
+                if "regex" not in names:
+                    ast_only.add((idx, rule))
+    return per_engine, ast_only
+
+
+def self_test_engines(compile_db):
+    engines = {"regex": RegexEngine(), "semantic": SemanticEngine()}
+    ci = find_libclang()
+    if ci is not None:
+        engines["clang"] = ClangEngine(ci, compile_db)
+    return engines
+
+
+def run_self_test(script_dir, compile_db=None):
     fixtures = os.path.join(script_dir, "lint_fixtures")
     if not os.path.isdir(fixtures):
         print(f"yoso-lint --self-test: fixture dir missing: {fixtures}")
         return 1
+    engines = self_test_engines(compile_db)
+    print("yoso-lint --self-test: engines under test: "
+          + ", ".join(sorted(engines)))
     failures = 0
+
     for name in sorted(os.listdir(fixtures)):
         if not name.endswith(CPP_EXTENSIONS):
             continue
@@ -340,32 +1081,92 @@ def run_self_test(script_dir):
         rel = name.replace("__", "/")
         with open(path, encoding="utf-8") as f:
             text = f.read()
-        expected = set()
-        for idx, line in enumerate(text.splitlines(), start=1):
-            for m in EXPECT_RE.finditer(line):
-                expected.add((idx, m.group(1)))
-        found_list, _ = scan_file(path, rel, text)
-        found = {(v.line, v.rule) for v in found_list}
-        missed = expected - found
-        spurious = found - expected
-        for line, rule in sorted(missed):
-            print(f"SELF-TEST FAIL {name}:{line}: seeded [{rule}] "
-                  "not detected")
-            failures += 1
-        for line, rule in sorted(spurious):
-            print(f"SELF-TEST FAIL {name}:{line}: spurious [{rule}]")
-            failures += 1
-        status = "ok" if not (missed or spurious) else "FAIL"
-        print(f"self-test {name}: {len(expected)} seeded, "
-              f"{len(found & expected)} detected — {status}")
+        per_engine, ast_only = parse_expectations(text)
+
+        for engine_name, engine in sorted(engines.items()):
+            expected = per_engine.get(engine_name, set())
+            found_list, _ = scan_with_allows(engine, rel, text, path=path)
+            found = {(v.line, v.rule) for v in found_list}
+            missed = expected - found
+            spurious = found - expected
+            for line, rule in sorted(missed):
+                print(f"SELF-TEST FAIL {name}:{line} [{engine_name}]: "
+                      f"seeded [{rule}] not detected")
+                failures += 1
+            for line, rule in sorted(spurious):
+                if engine_name == "regex" and (line, rule) in ast_only:
+                    print(f"SELF-TEST FAIL {name}:{line} [regex]: "
+                          f"unexpectedly detects [{rule}] — the fixture no "
+                          "longer proves the AST engines' superiority")
+                else:
+                    print(f"SELF-TEST FAIL {name}:{line} [{engine_name}]: "
+                          f"spurious [{rule}]")
+                failures += 1
+            status = "ok" if not (missed or spurious) else "FAIL"
+            print(f"self-test {name} [{engine_name}]: {len(expected)} "
+                  f"expected, {len(found & expected)} detected — {status}")
+
+    failures += self_test_allow_budget(fixtures)
     print(f"yoso-lint --self-test: {failures} failure(s)")
     return 1 if failures else 0
+
+
+def self_test_allow_budget(fixtures):
+    """The allow() escape hatch is budgeted; a fixture with six suppressions
+    must trip a five-allow budget and pass a six-allow one."""
+    budget_dir = os.path.join(fixtures, "allow_budget")
+    if not os.path.isdir(budget_dir):
+        print("SELF-TEST FAIL allow_budget/: fixture dir missing")
+        return 1
+    engine = SemanticEngine()
+    failures = 0
+    total_allows, violations = 0, []
+    for name in sorted(os.listdir(budget_dir)):
+        if not name.endswith(CPP_EXTENSIONS):
+            continue
+        rel = name.replace("__", "/")
+        with open(os.path.join(budget_dir, name), encoding="utf-8") as f:
+            text = f.read()
+        found, used = scan_with_allows(engine, rel, text)
+        violations.extend(found)
+        total_allows += used
+    if violations:
+        print(f"SELF-TEST FAIL allow_budget/: {len(violations)} unsuppressed"
+              " violation(s); every seeded violation should carry an allow()")
+        failures += 1
+    if total_allows != 6:
+        print(f"SELF-TEST FAIL allow_budget/: expected exactly 6 allows, "
+              f"counted {total_allows}")
+        failures += 1
+    over = total_allows > 5   # the default --max-allows budget
+    under = total_allows > 6  # a raised budget must accept the same tree
+    if not over:
+        print("SELF-TEST FAIL allow_budget/: six allows did NOT exceed the "
+              "default budget of 5 — the 6th allow() must fail the gate")
+        failures += 1
+    if under:
+        print("SELF-TEST FAIL allow_budget/: six allows exceeded a budget "
+              "of 6")
+        failures += 1
+    if not failures:
+        print("self-test allow_budget/: 6 allows counted, budget 5 trips, "
+              "budget 6 passes — ok")
+    return failures
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
+    parser.add_argument("--engine",
+                        choices=("auto", "regex", "semantic", "clang"),
+                        default="auto",
+                        help="analysis engine (auto = clang if available, "
+                             "else semantic; regex is the v1 fallback)")
+    parser.add_argument("--compile-db", default=None, metavar="JSON",
+                        help="path to compile_commands.json (required by "
+                             "--engine clang; exported by CMake "
+                             "unconditionally)")
     parser.add_argument("--check-headers", action="store_true",
                         help="also compile every src/ header standalone")
     parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
@@ -373,14 +1174,20 @@ def main(argv=None):
     parser.add_argument("--max-allows", type=int, default=5,
                         help="budget of yoso-lint: allow() suppressions")
     parser.add_argument("--self-test", action="store_true",
-                        help="run the linter against tools/lint_fixtures/")
+                        help="run every engine against tools/lint_fixtures/")
     args = parser.parse_args(argv)
 
     script_dir = os.path.dirname(os.path.abspath(__file__))
     if args.self_test:
-        return run_self_test(script_dir)
-    return run_tree(os.path.abspath(args.root), args.check_headers, args.cxx,
-                    args.max_allows)
+        return run_self_test(script_dir, compile_db=args.compile_db)
+
+    engine, note = make_engine(args.engine, args.compile_db)
+    if engine is None:
+        print(f"yoso-lint: {note}", file=sys.stderr)
+        return 2
+    return run_tree(os.path.abspath(args.root), engine, args.check_headers,
+                    args.cxx, args.max_allows,
+                    note=note if args.engine == "auto" else None)
 
 
 if __name__ == "__main__":
