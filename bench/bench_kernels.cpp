@@ -1,0 +1,305 @@
+// Kernel-layer microbenchmarks: the blocked/SIMD engines in linalg/kernels
+// against faithful naive baselines (the code the kernels replaced), at the
+// shapes the search loop actually runs — HyperNet conv GEMMs and batched GP
+// inference over the co-design feature space.
+//
+// Targets (full run): >=3x float GEMM at the HyperNet hot shape and >=5x
+// batched GP predict vs the per-candidate scalar loop.  `--smoke` runs the
+// same code at tiny sizes with no thresholds (CI wiring check).  Either way
+// the numbers land in BENCH_kernels.json.
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "predictor/gp.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace yoso;
+
+double g_sink = 0.0;  // defeats dead-code elimination across timed regions
+
+/// Best-of-`reps` wall time of fn(), in seconds.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.elapsed_seconds());
+  }
+  return best;
+}
+
+std::vector<float> random_vecf(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<double> random_vec(Rng& rng, std::size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// The dot-form loop matmul_abt used before the kernel layer existed.
+void naive_abt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t n, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t t = 0; t < k; ++t) acc += a[i * k + t] * b[j * k + t];
+      c[i * n + j] = acc;
+    }
+}
+
+void naive_gemm(const double* a, const double* b, double* c, std::size_t m,
+                std::size_t k, std::size_t n) {
+  std::memset(c, 0, m * n * sizeof(double));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t t = 0; t < k; ++t)
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] += a[i * k + t] * b[t * n + j];
+}
+
+void bench_gemm_float(BenchJson& json, bool smoke) {
+  // The HyperNet hot shape: im2col'd 3x3 conv at 32x32 on 64 channels —
+  // matmul_abt(m = batch*oh*ow, n = out_ch, k = in_ch*3*3).
+  const std::size_t m = smoke ? 64 : 4096;
+  const std::size_t n = smoke ? 16 : 128;
+  const std::size_t k = smoke ? 32 : 576;
+  Rng rng(101);
+  const auto a = random_vecf(rng, m * k);
+  const auto b = random_vecf(rng, n * k);
+  std::vector<float> c(m * n);
+  const int reps = smoke ? 1 : 5;
+  const double t_naive =
+      time_best(reps, [&] { naive_abt(a.data(), b.data(), c.data(), m, n, k); });
+  g_sink += c[m * n - 1];
+  const double t_kernel = time_best(reps, [&] {
+    kernels::sgemm_abt(a.data(), b.data(), c.data(), m, n, k);
+  });
+  g_sink += c[m * n - 1];
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const double speedup = t_naive / t_kernel;
+
+  TextTable table({"gemm f32 abt", "time (ms)", "GFLOP/s", "speedup"});
+  table.add_row({"naive dot loop", TextTable::fmt(t_naive * 1e3, 2),
+                 TextTable::fmt(flops / t_naive * 1e-9, 2), "1.00"});
+  table.add_row({"kernel layer", TextTable::fmt(t_kernel * 1e3, 2),
+                 TextTable::fmt(flops / t_kernel * 1e-9, 2),
+                 TextTable::fmt(speedup, 2)});
+  std::cout << "\nfloat GEMM, HyperNet conv shape (" << m << "x" << n << "x"
+            << k << "):\n";
+  table.print(std::cout);
+  if (!smoke)
+    std::cout << "target >=3x: " << (speedup >= 3.0 ? "met" : "MISSED")
+              << "\n";
+
+  json.record("gemm_f32_abt");
+  json.value("m", static_cast<double>(m));
+  json.value("n", static_cast<double>(n));
+  json.value("k", static_cast<double>(k));
+  json.value("naive_ms", t_naive * 1e3);
+  json.value("kernel_ms", t_kernel * 1e3);
+  json.value("kernel_gflops", flops / t_kernel * 1e-9);
+  json.value("speedup", speedup);
+}
+
+void bench_gemm_double(BenchJson& json, bool smoke) {
+  const std::size_t m = smoke ? 32 : 384, k = smoke ? 32 : 384,
+                    n = smoke ? 32 : 384;
+  Rng rng(103);
+  const auto a = random_vec(rng, m * k);
+  const auto b = random_vec(rng, k * n);
+  std::vector<double> c(m * n);
+  const int reps = smoke ? 1 : 5;
+  const double t_naive = time_best(
+      reps, [&] { naive_gemm(a.data(), b.data(), c.data(), m, k, n); });
+  g_sink += c[m * n - 1];
+  const double t_kernel = time_best(
+      reps, [&] { kernels::gemm(a.data(), b.data(), c.data(), m, k, n); });
+  g_sink += c[m * n - 1];
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const double speedup = t_naive / t_kernel;
+
+  TextTable table({"gemm f64", "time (ms)", "GFLOP/s", "speedup"});
+  table.add_row({"naive ikj", TextTable::fmt(t_naive * 1e3, 2),
+                 TextTable::fmt(flops / t_naive * 1e-9, 2), "1.00"});
+  table.add_row({"kernel layer", TextTable::fmt(t_kernel * 1e3, 2),
+                 TextTable::fmt(flops / t_kernel * 1e-9, 2),
+                 TextTable::fmt(speedup, 2)});
+  std::cout << "\ndouble GEMM (" << m << "x" << k << "x" << n << "):\n";
+  table.print(std::cout);
+
+  json.record("gemm_f64");
+  json.value("m", static_cast<double>(m));
+  json.value("k", static_cast<double>(k));
+  json.value("n", static_cast<double>(n));
+  json.value("naive_ms", t_naive * 1e3);
+  json.value("kernel_ms", t_kernel * 1e3);
+  json.value("kernel_gflops", flops / t_kernel * 1e-9);
+  json.value("speedup", speedup);
+}
+
+void bench_pairwise(BenchJson& json, bool smoke) {
+  // The GP K* panel shape: a 256-candidate batch against ~1000 training
+  // rows in the 22-dim co-design feature space.
+  const std::size_t q = smoke ? 16 : 256;
+  const std::size_t n = smoke ? 32 : 1000;
+  const std::size_t d = 22;
+  Rng rng(107);
+  const auto train = random_vec(rng, n * d);
+  const auto queries = random_vec(rng, q * d);
+  const kernels::PackedRows packed = kernels::pack_rows(train.data(), n, d);
+  std::vector<double> out(q * n);
+  const int reps = smoke ? 1 : 20;
+  const double t_naive = time_best(reps, [&] {
+    for (std::size_t i = 0; i < q; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        out[i * n + j] = squared_distance(
+            std::span<const double>(queries.data() + i * d, d),
+            std::span<const double>(train.data() + j * d, d));
+  });
+  g_sink += out[q * n - 1];
+  const double t_kernel = time_best(reps, [&] {
+    kernels::pairwise_sq_dists(queries.data(), q, packed, out.data());
+  });
+  g_sink += out[q * n - 1];
+  const double pairs = static_cast<double>(q) * n;
+  const double speedup = t_naive / t_kernel;
+
+  TextTable table({"pairwise sq dists", "time (us)", "ns/pair", "speedup"});
+  table.add_row({"scalar loop", TextTable::fmt(t_naive * 1e6, 1),
+                 TextTable::fmt(t_naive / pairs * 1e9, 2), "1.00"});
+  table.add_row({"kernel layer", TextTable::fmt(t_kernel * 1e6, 1),
+                 TextTable::fmt(t_kernel / pairs * 1e9, 2),
+                 TextTable::fmt(speedup, 2)});
+  std::cout << "\npairwise squared distances (" << q << " queries x " << n
+            << " train rows, d=" << d << "):\n";
+  table.print(std::cout);
+
+  json.record("pairwise_sq_dists");
+  json.value("queries", static_cast<double>(q));
+  json.value("train_rows", static_cast<double>(n));
+  json.value("dim", static_cast<double>(d));
+  json.value("naive_us", t_naive * 1e6);
+  json.value("kernel_us", t_kernel * 1e6);
+  json.value("kernel_ns_per_pair", t_kernel / pairs * 1e9);
+  json.value("speedup", speedup);
+}
+
+void bench_gp_predict(BenchJson& json, bool smoke) {
+  // Batched GP inference against the per-candidate scalar loop the
+  // evaluator ran before predict_batch existed: standardize one row, one
+  // squared_distance + std::exp per training row, dot with alpha.
+  const std::size_t n_train = smoke ? 64 : 1000;
+  const std::size_t batch = smoke ? 16 : 256;
+  const std::size_t d = 22;
+  Rng rng(109);
+  Matrix x(n_train, d);
+  std::vector<double> y(n_train);
+  for (std::size_t r = 0; r < n_train; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      x(r, c) = rng.uniform(-2.0, 2.0);
+      s += x(r, c);
+    }
+    y[r] = std::sin(s) + 0.05 * rng.normal();
+  }
+  // Fixed hyper-parameters: tuning cost is a fit-time story; this bench
+  // isolates inference.
+  GpRegressor gp({}, /*tune=*/false);
+  gp.fit(x, y);
+
+  Matrix queries(batch, d);
+  for (std::size_t r = 0; r < batch; ++r)
+    for (std::size_t c = 0; c < d; ++c) queries(r, c) = rng.uniform(-2.0, 2.0);
+
+  const Matrix& tx = gp.train_inputs();
+  const std::span<const double> alpha = gp.alpha();
+  const GpHyperParams& hp = gp.hyper_params();
+  const double scale = -1.0 / (2.0 * hp.lengthscale * hp.lengthscale);
+  std::vector<double> mu(batch);
+  const int reps = smoke ? 1 : 10;
+  const double t_scalar = time_best(reps, [&] {
+    std::vector<double> raw(d);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t c = 0; c < d; ++c) raw[c] = queries(i, c);
+      const std::vector<double> xs = gp.input_scaler().transform_row(raw);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n_train; ++j) {
+        const double d2 = squared_distance(
+            xs, std::span<const double>(tx.data().data() + j * d, d));
+        acc += hp.signal_variance * std::exp(scale * d2) * alpha[j];
+      }
+      mu[i] = gp.target_mean() + acc;
+    }
+  });
+  g_sink += mu[batch - 1];
+  const double t_batch =
+      time_best(reps, [&] { mu = gp.predict_batch(queries); });
+  g_sink += mu[batch - 1];
+  const double speedup = t_scalar / t_batch;
+
+  TextTable table({"gp predict", "time (us)", "us/query", "speedup"});
+  table.add_row({"scalar loop", TextTable::fmt(t_scalar * 1e6, 1),
+                 TextTable::fmt(t_scalar / static_cast<double>(batch) * 1e6, 2),
+                 "1.00"});
+  table.add_row({"predict_batch", TextTable::fmt(t_batch * 1e6, 1),
+                 TextTable::fmt(t_batch / static_cast<double>(batch) * 1e6, 2),
+                 TextTable::fmt(speedup, 2)});
+  std::cout << "\nbatched GP inference (batch " << batch << ", n_train "
+            << n_train << ", d=" << d << "):\n";
+  table.print(std::cout);
+  if (!smoke)
+    std::cout << "target >=5x: " << (speedup >= 5.0 ? "met" : "MISSED")
+              << "\n";
+
+  json.record("gp_predict_batch");
+  json.value("batch", static_cast<double>(batch));
+  json.value("n_train", static_cast<double>(n_train));
+  json.value("dim", static_cast<double>(d));
+  json.value("scalar_us", t_scalar * 1e6);
+  json.value("batch_us", t_batch * 1e6);
+  json.value("us_per_query", t_batch / static_cast<double>(batch) * 1e6);
+  json.value("speedup", speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace yoso;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  Stopwatch sw;
+  bench_banner("Kernels", smoke ? "blocked/SIMD kernel layer (smoke)"
+                                : "blocked/SIMD kernel layer");
+  std::cout << "active ISA: " << kernels::active_isa() << "\n";
+
+  BenchJson json("kernels");
+  json.field("isa", kernels::active_isa());
+  json.field("smoke", smoke ? 1.0 : 0.0);
+
+  bench_gemm_float(json, smoke);
+  bench_gemm_double(json, smoke);
+  bench_pairwise(json, smoke);
+  bench_gp_predict(json, smoke);
+
+  const std::string path = json.write();
+  std::cout << "\n[wrote " << (path.empty() ? "<failed>" : path)
+            << "]  [checksum " << TextTable::fmt(g_sink, 3) << "]\n";
+  bench_footer(sw);
+  return path.empty() ? 1 : 0;
+}

@@ -20,12 +20,13 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/evaluator.h"
 #include "core/two_stage.h"
 
 namespace {
 
-void bench_candidate_throughput() {
+void bench_candidate_throughput(yoso::BenchJson& json) {
   using namespace yoso;
   DesignSpace space;
   const NetworkSkeleton skeleton = default_skeleton();
@@ -59,6 +60,12 @@ void bench_candidate_throughput() {
   TextTable table({"mode", "threads", "cand/s", "speedup"});
   table.add_row({"serial evaluate()", "1", TextTable::fmt(serial_cps, 0),
                  "1.00"});
+  json.field("proposals", static_cast<double>(total));
+  json.field("distinct", static_cast<double>(unique));
+  json.record("serial_evaluate");
+  json.value("threads", 1.0);
+  json.value("cand_per_s", serial_cps);
+  json.value("speedup", 1.0);
   const std::size_t batch = 64;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     fast.set_parallelism(threads);
@@ -74,6 +81,11 @@ void bench_candidate_throughput() {
     table.add_row({"batched+memo", TextTable::fmt_int(
                        static_cast<long long>(threads)),
                    TextTable::fmt(cps, 0), TextTable::fmt(cps / serial_cps, 2)});
+    json.record("batched_memo");
+    json.value("threads", static_cast<double>(threads));
+    json.value("batch", static_cast<double>(batch));
+    json.value("cand_per_s", cps);
+    json.value("speedup", cps / serial_cps);
   }
   std::cout << "\ncandidate evaluation throughput ("
             << total << " proposals, " << unique << " distinct, batch "
@@ -90,7 +102,11 @@ int main() {
   Stopwatch sw;
   bench_banner("Extension", "candidate-throughput + batch-size sweep");
 
-  bench_candidate_throughput();
+  BenchJson json("throughput");
+  bench_candidate_throughput(json);
+  const std::string json_path = json.write();
+  std::cout << "[wrote " << (json_path.empty() ? "<failed>" : json_path)
+            << "]\n";
 
   SystolicSimulator sim({}, SimFidelity::kAnalytical);
   const NetworkSkeleton skeleton = default_skeleton();

@@ -89,12 +89,34 @@ std::vector<EvalResult> FastEvaluator::evaluate_batch(
     if (miss_slot.emplace(keys[i], miss.size()).second) miss.push_back(i);
   }
 
-  // The parallel section: pure read-only predictions, no shared writes
-  // except each worker's own result slot.
+  // Phase 1 (parallel, read-only): the HyperNet accuracy proxy and the
+  // co-design feature row for every miss, each worker writing only its own
+  // slots.  Phase 2 (coordinator): the GP latency/energy means for all
+  // misses via one batched K* product — the batch call may fan its rows
+  // out across the same pool because the phases are sequential, never
+  // nested.  Per-element results are bit-identical to compute().
   std::vector<EvalResult> computed(miss.size());
-  pool().parallel_for(0, miss.size(), [&](std::size_t j) {
-    computed[j] = compute(batch[miss[j]]);
-  });
+  if (!miss.empty()) {
+    std::vector<std::vector<double>> feats(miss.size());
+    pool().parallel_for(0, miss.size(), [&](std::size_t j) {
+      const CandidateDesign& cand = batch[miss[j]];
+      computed[j].accuracy = accuracy_.hypernet_accuracy(cand.genotype);
+      feats[j] = codesign_features(cand.genotype, cand.config,
+                                   predictor_.skeleton());
+    });
+    Matrix fx(miss.size(), feats.front().size());
+    for (std::size_t j = 0; j < miss.size(); ++j)
+      for (std::size_t c = 0; c < feats[j].size(); ++c)
+        fx(j, c) = feats[j][c];
+    const std::vector<double> lat =
+        predictor_.predict_latency_ms_batch(fx, &pool());
+    const std::vector<double> en =
+        predictor_.predict_energy_mj_batch(fx, &pool());
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      computed[j].latency_ms = std::max(1e-3, lat[j]);
+      computed[j].energy_mj = std::max(1e-3, en[j]);
+    }
+  }
 
   // Cache insertion happens on the calling thread, in batch order, so the
   // cache contents are independent of the thread count.

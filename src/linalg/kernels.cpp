@@ -1,0 +1,1000 @@
+#include "linalg/kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/contract.h"
+#include "util/thread_pool.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define YOSO_KERNELS_X86 1
+#endif
+
+// Engine layout: every kernel has a generic scalar body plus (on x86-64) an
+// AVX2+FMA body carrying __attribute__((target("avx2,fma"))), all in this
+// one TU so there is no cross-TU ODR hazard from mixed -m flags.  The
+// engine is picked once per process by use_avx2(); block partitioning is a
+// fixed row granularity (kRowBlock) so results are bit-identical at any
+// thread count, and the single-row micro-kernel variants issue the same
+// per-element operation chains as the paired-row variants, so a row's
+// result never depends on how the surrounding rows were grouped.
+
+namespace yoso::kernels {
+namespace {
+
+constexpr std::size_t kRowBlock = 8;    // pool partition unit (rows)
+constexpr std::size_t kAccIBlock = 128; // i-blocking for A^T B accumulation
+
+bool use_avx2() {
+#if YOSO_KERNELS_X86
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+// Runs fn(row_begin, row_end) over [0, rows) in fixed kRowBlock chunks.
+// Block boundaries are independent of the worker count (that is the
+// determinism contract), and block starts are always multiples of
+// kRowBlock, so paired-row micro-kernels pair the same rows whether the
+// range arrives whole or split.
+template <typename Fn>
+void for_row_blocks(ThreadPool* pool, std::size_t rows, const Fn& fn) {
+  if (pool == nullptr || pool->workers() == 0 || rows <= kRowBlock) {
+    fn(std::size_t{0}, rows);
+    return;
+  }
+  const std::size_t blocks = (rows + kRowBlock - 1) / kRowBlock;
+  pool->parallel_for(0, blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kRowBlock;
+    fn(lo, std::min(rows, lo + kRowBlock));
+  });
+}
+
+// --- exp: range-reduced polynomial shared by both engines ------------------
+// exp(x) = 2^k * exp(r), k = round(x / ln 2), r = x - k ln2_hi - k ln2_lo,
+// exp(r) by a degree-12 Taylor/Horner polynomial on |r| <= ln2/2 (max
+// relative error ~3e-16 vs std::exp).  The scalar core below is the exact
+// operation sequence of the vector body, so the vector remainder lanes can
+// call it and still satisfy "element i depends only on in[i] and i".
+
+constexpr double kExpLo = -708.0;
+constexpr double kExpHi = 708.0;
+constexpr double kLog2E = 1.4426950408889634074;
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kExpC[13] = {1.0,
+                              1.0,
+                              1.0 / 2,
+                              1.0 / 6,
+                              1.0 / 24,
+                              1.0 / 120,
+                              1.0 / 720,
+                              1.0 / 5040,
+                              1.0 / 40320,
+                              1.0 / 362880,
+                              1.0 / 3628800,
+                              1.0 / 39916800,
+                              1.0 / 479001600};
+
+double exp_core(double x) {
+  x = std::min(kExpHi, std::max(kExpLo, x));
+  const double kd = static_cast<double>(std::lrint(x * kLog2E));
+  double r = std::fma(-kd, kLn2Hi, x);
+  r = std::fma(-kd, kLn2Lo, r);
+  double p = kExpC[12];
+  for (int ci = 11; ci >= 0; --ci) p = std::fma(p, r, kExpC[ci]);
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(kd) + 1023) << 52;
+  return p * std::bit_cast<double>(bits);
+}
+
+// --- generic engine --------------------------------------------------------
+
+double dot_generic(const double* a, const double* b, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  double acc = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void gemm_rows_generic(const double* a, const double* b, double* c,
+                       std::size_t r0, std::size_t r1, std::size_t kk,
+                       std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* ai = a + i * kk;
+    double* ci = c + i * n;
+    std::fill(ci, ci + n, 0.0);
+    for (std::size_t t = 0; t < kk; ++t) {
+      const double av = ai[t];
+      const double* bt = b + t * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bt[j];
+    }
+  }
+}
+
+void sgemm_ab_rows_generic(const float* a, const float* b, float* c,
+                           std::size_t r0, std::size_t r1, std::size_t kk,
+                           std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* ai = a + i * kk;
+    float* ci = c + i * n;
+    std::fill(ci, ci + n, 0.0f);
+    for (std::size_t t = 0; t < kk; ++t) {
+      const float av = ai[t];
+      const float* bt = b + t * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bt[j];
+    }
+  }
+}
+
+void satb_rows_generic(const float* a, const float* b, float* c,
+                       std::size_t t0, std::size_t t1, std::size_t m,
+                       std::size_t kk, std::size_t n) {
+  // i is blocked at a fixed granularity so the per-element accumulation
+  // chains (C reloaded once per i-block) do not depend on the t-range
+  // partition a pool hands us.
+  for (std::size_t ib = 0; ib < m; ib += kAccIBlock) {
+    const std::size_t ie = std::min(m, ib + kAccIBlock);
+    for (std::size_t t = t0; t < t1; ++t) {
+      float* ct = c + t * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        float s = ct[j];
+        for (std::size_t i = ib; i < ie; ++i)
+          s += a[i * kk + t] * b[i * n + j];
+        ct[j] = s;
+      }
+    }
+  }
+}
+
+void pairwise_rows_generic(const double* q, std::size_t d, std::size_t r0,
+                           std::size_t r1, const double* trn,
+                           const double* tn, std::size_t n, double* out) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* qi = q + i * d;
+    const double qn = dot_generic(qi, qi, d);
+    double* oi = out + i * n;
+    for (std::size_t t = 0; t < n; ++t) oi[t] = qn + tn[t];
+    for (std::size_t c = 0; c < d; ++c) {
+      const double qv = -2.0 * qi[c];
+      const double* col = trn + c * n;
+      for (std::size_t t = 0; t < n; ++t) oi[t] += qv * col[t];
+    }
+    for (std::size_t t = 0; t < n; ++t) oi[t] = std::max(0.0, oi[t]);
+  }
+}
+
+double exp_scale_dot_generic(const double* in, double* out, const double* w,
+                             std::size_t n, double scale, double mult) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = mult * exp_core(scale * in[i]);
+    sum = std::fma(out[i], w[i], sum);
+  }
+  return sum;
+}
+
+void exp_scale_generic(const double* in, double* out, std::size_t n,
+                       double scale, double mult) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = mult * exp_core(scale * in[i]);
+}
+
+// --- AVX2+FMA engine -------------------------------------------------------
+// Register-tiled micro-kernels: 2 rows x 16 columns of doubles (8 ymm
+// accumulators) / 2 rows x 32 floats, broadcast-FMA over the shared
+// dimension.  Each output element owns one accumulator lane updated in a
+// fixed order, so there is never a cross-lane reduction whose order could
+// depend on tiling, and the single-row variants replay the identical
+// per-element chains as the paired variants.
+
+#if YOSO_KERNELS_X86
+
+__attribute__((target("avx2,fma"))) double dot_avx2(const double* a,
+                                                    const double* b,
+                                                    std::size_t n) {
+  __m256d l0 = _mm256_setzero_pd();
+  __m256d l1 = _mm256_setzero_pd();
+  __m256d l2 = _mm256_setzero_pd();
+  __m256d l3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    l0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), l0);
+    l1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                         _mm256_loadu_pd(b + i + 4), l1);
+    l2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                         _mm256_loadu_pd(b + i + 8), l2);
+    l3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                         _mm256_loadu_pd(b + i + 12), l3);
+  }
+  for (; i + 4 <= n; i += 4)
+    l0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), l0);
+  const __m256d s =
+      _mm256_add_pd(_mm256_add_pd(l0, l1), _mm256_add_pd(l2, l3));
+  double tmp[4];
+  _mm256_storeu_pd(tmp, s);
+  double acc = (tmp[0] + tmp[1]) + (tmp[2] + tmp[3]);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) void gemm_rows_avx2(
+    const double* a, const double* b, double* c, std::size_t r0,
+    std::size_t r1, std::size_t kk, std::size_t n) {
+  std::size_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const double* a0 = a + i * kk;
+    const double* a1 = a0 + kk;
+    double* c0 = c + i * n;
+    double* c1 = c0 + n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256d s00 = _mm256_setzero_pd(), s01 = _mm256_setzero_pd();
+      __m256d s02 = _mm256_setzero_pd(), s03 = _mm256_setzero_pd();
+      __m256d s10 = _mm256_setzero_pd(), s11 = _mm256_setzero_pd();
+      __m256d s12 = _mm256_setzero_pd(), s13 = _mm256_setzero_pd();
+      for (std::size_t t = 0; t < kk; ++t) {
+        const double* bt = b + t * n + j;
+        const __m256d b0 = _mm256_loadu_pd(bt);
+        const __m256d b1 = _mm256_loadu_pd(bt + 4);
+        const __m256d b2 = _mm256_loadu_pd(bt + 8);
+        const __m256d b3 = _mm256_loadu_pd(bt + 12);
+        const __m256d v0 = _mm256_set1_pd(a0[t]);
+        const __m256d v1 = _mm256_set1_pd(a1[t]);
+        s00 = _mm256_fmadd_pd(v0, b0, s00);
+        s01 = _mm256_fmadd_pd(v0, b1, s01);
+        s02 = _mm256_fmadd_pd(v0, b2, s02);
+        s03 = _mm256_fmadd_pd(v0, b3, s03);
+        s10 = _mm256_fmadd_pd(v1, b0, s10);
+        s11 = _mm256_fmadd_pd(v1, b1, s11);
+        s12 = _mm256_fmadd_pd(v1, b2, s12);
+        s13 = _mm256_fmadd_pd(v1, b3, s13);
+      }
+      _mm256_storeu_pd(c0 + j, s00);
+      _mm256_storeu_pd(c0 + j + 4, s01);
+      _mm256_storeu_pd(c0 + j + 8, s02);
+      _mm256_storeu_pd(c0 + j + 12, s03);
+      _mm256_storeu_pd(c1 + j, s10);
+      _mm256_storeu_pd(c1 + j + 4, s11);
+      _mm256_storeu_pd(c1 + j + 8, s12);
+      _mm256_storeu_pd(c1 + j + 12, s13);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d s0 = _mm256_setzero_pd();
+      __m256d s1 = _mm256_setzero_pd();
+      for (std::size_t t = 0; t < kk; ++t) {
+        const __m256d bv = _mm256_loadu_pd(b + t * n + j);
+        s0 = _mm256_fmadd_pd(_mm256_set1_pd(a0[t]), bv, s0);
+        s1 = _mm256_fmadd_pd(_mm256_set1_pd(a1[t]), bv, s1);
+      }
+      _mm256_storeu_pd(c0 + j, s0);
+      _mm256_storeu_pd(c1 + j, s1);
+    }
+    for (; j < n; ++j) {
+      double s0 = 0.0, s1 = 0.0;
+      for (std::size_t t = 0; t < kk; ++t) {
+        const double bv = b[t * n + j];
+        s0 = std::fma(a0[t], bv, s0);
+        s1 = std::fma(a1[t], bv, s1);
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* a0 = a + i * kk;
+    double* c0 = c + i * n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256d s00 = _mm256_setzero_pd(), s01 = _mm256_setzero_pd();
+      __m256d s02 = _mm256_setzero_pd(), s03 = _mm256_setzero_pd();
+      for (std::size_t t = 0; t < kk; ++t) {
+        const double* bt = b + t * n + j;
+        const __m256d v0 = _mm256_set1_pd(a0[t]);
+        s00 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(bt), s00);
+        s01 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(bt + 4), s01);
+        s02 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(bt + 8), s02);
+        s03 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(bt + 12), s03);
+      }
+      _mm256_storeu_pd(c0 + j, s00);
+      _mm256_storeu_pd(c0 + j + 4, s01);
+      _mm256_storeu_pd(c0 + j + 8, s02);
+      _mm256_storeu_pd(c0 + j + 12, s03);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d s0 = _mm256_setzero_pd();
+      for (std::size_t t = 0; t < kk; ++t)
+        s0 = _mm256_fmadd_pd(_mm256_set1_pd(a0[t]),
+                             _mm256_loadu_pd(b + t * n + j), s0);
+      _mm256_storeu_pd(c0 + j, s0);
+    }
+    for (; j < n; ++j) {
+      double s0 = 0.0;
+      for (std::size_t t = 0; t < kk; ++t)
+        s0 = std::fma(a0[t], b[t * n + j], s0);
+      c0[j] = s0;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void sgemm_ab_rows_avx2(
+    const float* a, const float* b, float* c, std::size_t r0, std::size_t r1,
+    std::size_t kk, std::size_t n) {
+  std::size_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const float* a0 = a + i * kk;
+    const float* a1 = a0 + kk;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    std::size_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      __m256 s00 = _mm256_setzero_ps(), s01 = _mm256_setzero_ps();
+      __m256 s02 = _mm256_setzero_ps(), s03 = _mm256_setzero_ps();
+      __m256 s10 = _mm256_setzero_ps(), s11 = _mm256_setzero_ps();
+      __m256 s12 = _mm256_setzero_ps(), s13 = _mm256_setzero_ps();
+      for (std::size_t t = 0; t < kk; ++t) {
+        const float* bt = b + t * n + j;
+        const __m256 b0 = _mm256_loadu_ps(bt);
+        const __m256 b1 = _mm256_loadu_ps(bt + 8);
+        const __m256 b2 = _mm256_loadu_ps(bt + 16);
+        const __m256 b3 = _mm256_loadu_ps(bt + 24);
+        const __m256 v0 = _mm256_set1_ps(a0[t]);
+        const __m256 v1 = _mm256_set1_ps(a1[t]);
+        s00 = _mm256_fmadd_ps(v0, b0, s00);
+        s01 = _mm256_fmadd_ps(v0, b1, s01);
+        s02 = _mm256_fmadd_ps(v0, b2, s02);
+        s03 = _mm256_fmadd_ps(v0, b3, s03);
+        s10 = _mm256_fmadd_ps(v1, b0, s10);
+        s11 = _mm256_fmadd_ps(v1, b1, s11);
+        s12 = _mm256_fmadd_ps(v1, b2, s12);
+        s13 = _mm256_fmadd_ps(v1, b3, s13);
+      }
+      _mm256_storeu_ps(c0 + j, s00);
+      _mm256_storeu_ps(c0 + j + 8, s01);
+      _mm256_storeu_ps(c0 + j + 16, s02);
+      _mm256_storeu_ps(c0 + j + 24, s03);
+      _mm256_storeu_ps(c1 + j, s10);
+      _mm256_storeu_ps(c1 + j + 8, s11);
+      _mm256_storeu_ps(c1 + j + 16, s12);
+      _mm256_storeu_ps(c1 + j + 24, s13);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 s0 = _mm256_setzero_ps();
+      __m256 s1 = _mm256_setzero_ps();
+      for (std::size_t t = 0; t < kk; ++t) {
+        const __m256 bv = _mm256_loadu_ps(b + t * n + j);
+        s0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[t]), bv, s0);
+        s1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[t]), bv, s1);
+      }
+      _mm256_storeu_ps(c0 + j, s0);
+      _mm256_storeu_ps(c1 + j, s1);
+    }
+    for (; j < n; ++j) {
+      float s0 = 0.0f, s1 = 0.0f;
+      for (std::size_t t = 0; t < kk; ++t) {
+        const float bv = b[t * n + j];
+        s0 = std::fma(a0[t], bv, s0);
+        s1 = std::fma(a1[t], bv, s1);
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* a0 = a + i * kk;
+    float* c0 = c + i * n;
+    std::size_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      __m256 s00 = _mm256_setzero_ps(), s01 = _mm256_setzero_ps();
+      __m256 s02 = _mm256_setzero_ps(), s03 = _mm256_setzero_ps();
+      for (std::size_t t = 0; t < kk; ++t) {
+        const float* bt = b + t * n + j;
+        const __m256 v0 = _mm256_set1_ps(a0[t]);
+        s00 = _mm256_fmadd_ps(v0, _mm256_loadu_ps(bt), s00);
+        s01 = _mm256_fmadd_ps(v0, _mm256_loadu_ps(bt + 8), s01);
+        s02 = _mm256_fmadd_ps(v0, _mm256_loadu_ps(bt + 16), s02);
+        s03 = _mm256_fmadd_ps(v0, _mm256_loadu_ps(bt + 24), s03);
+      }
+      _mm256_storeu_ps(c0 + j, s00);
+      _mm256_storeu_ps(c0 + j + 8, s01);
+      _mm256_storeu_ps(c0 + j + 16, s02);
+      _mm256_storeu_ps(c0 + j + 24, s03);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 s0 = _mm256_setzero_ps();
+      for (std::size_t t = 0; t < kk; ++t)
+        s0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[t]),
+                             _mm256_loadu_ps(b + t * n + j), s0);
+      _mm256_storeu_ps(c0 + j, s0);
+    }
+    for (; j < n; ++j) {
+      float s0 = 0.0f;
+      for (std::size_t t = 0; t < kk; ++t)
+        s0 = std::fma(a0[t], b[t * n + j], s0);
+      c0[j] = s0;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void satb_rows_avx2(
+    const float* a, const float* b, float* c, std::size_t t0, std::size_t t1,
+    std::size_t m, std::size_t kk, std::size_t n) {
+  for (std::size_t ib = 0; ib < m; ib += kAccIBlock) {
+    const std::size_t ie = std::min(m, ib + kAccIBlock);
+    for (std::size_t t = t0; t < t1; ++t) {
+      float* ct = c + t * n;
+      const float* at = a + t;
+      std::size_t j = 0;
+      for (; j + 32 <= n; j += 32) {
+        __m256 s0 = _mm256_loadu_ps(ct + j);
+        __m256 s1 = _mm256_loadu_ps(ct + j + 8);
+        __m256 s2 = _mm256_loadu_ps(ct + j + 16);
+        __m256 s3 = _mm256_loadu_ps(ct + j + 24);
+        for (std::size_t i = ib; i < ie; ++i) {
+          const __m256 av = _mm256_set1_ps(at[i * kk]);
+          const float* bi = b + i * n + j;
+          s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bi), s0);
+          s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bi + 8), s1);
+          s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bi + 16), s2);
+          s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bi + 24), s3);
+        }
+        _mm256_storeu_ps(ct + j, s0);
+        _mm256_storeu_ps(ct + j + 8, s1);
+        _mm256_storeu_ps(ct + j + 16, s2);
+        _mm256_storeu_ps(ct + j + 24, s3);
+      }
+      for (; j + 8 <= n; j += 8) {
+        __m256 s0 = _mm256_loadu_ps(ct + j);
+        for (std::size_t i = ib; i < ie; ++i)
+          s0 = _mm256_fmadd_ps(_mm256_set1_ps(at[i * kk]),
+                               _mm256_loadu_ps(b + i * n + j), s0);
+        _mm256_storeu_ps(ct + j, s0);
+      }
+      for (; j < n; ++j) {
+        float s = ct[j];
+        for (std::size_t i = ib; i < ie; ++i)
+          s = std::fma(at[i * kk], b[i * n + j], s);
+        ct[j] = s;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void pairwise_rows_avx2(
+    const double* q, std::size_t d, std::size_t r0, std::size_t r1,
+    const double* trn, const double* tn, std::size_t n, double* out) {
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  std::size_t i = r0;
+  // Four query rows per training-panel sweep: halves the panel traffic of
+  // the paired loop below.  Every output element still accumulates one fma
+  // per dimension in ascending order, so its value is bit-identical across
+  // the 4-row / 2-row / single-row variants — row grouping never leaks
+  // into results (see the SubRangeRowsMatchFullRange test).
+  for (; i + 4 <= r1; i += 4) {
+    const double* q0 = q + i * d;
+    const double* q1 = q0 + d;
+    const double* q2 = q1 + d;
+    const double* q3 = q2 + d;
+    const double qn0 = dot(q0, q0, d);
+    const double qn1 = dot(q1, q1, d);
+    const double qn2 = dot(q2, q2, d);
+    const double qn3 = dot(q3, q3, d);
+    const __m256d vqn0 = _mm256_set1_pd(qn0);
+    const __m256d vqn1 = _mm256_set1_pd(qn1);
+    const __m256d vqn2 = _mm256_set1_pd(qn2);
+    const __m256d vqn3 = _mm256_set1_pd(qn3);
+    double* o0 = out + i * n;
+    double* o1 = o0 + n;
+    double* o2 = o1 + n;
+    double* o3 = o2 + n;
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+      __m256d s00 = _mm256_setzero_pd(), s01 = _mm256_setzero_pd();
+      __m256d s10 = _mm256_setzero_pd(), s11 = _mm256_setzero_pd();
+      __m256d s20 = _mm256_setzero_pd(), s21 = _mm256_setzero_pd();
+      __m256d s30 = _mm256_setzero_pd(), s31 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < d; ++c) {
+        const double* col = trn + c * n + t;
+        const __m256d b0 = _mm256_loadu_pd(col);
+        const __m256d b1 = _mm256_loadu_pd(col + 4);
+        const __m256d v0 = _mm256_set1_pd(q0[c]);
+        const __m256d v1 = _mm256_set1_pd(q1[c]);
+        const __m256d v2 = _mm256_set1_pd(q2[c]);
+        const __m256d v3 = _mm256_set1_pd(q3[c]);
+        s00 = _mm256_fmadd_pd(v0, b0, s00);
+        s01 = _mm256_fmadd_pd(v0, b1, s01);
+        s10 = _mm256_fmadd_pd(v1, b0, s10);
+        s11 = _mm256_fmadd_pd(v1, b1, s11);
+        s20 = _mm256_fmadd_pd(v2, b0, s20);
+        s21 = _mm256_fmadd_pd(v2, b1, s21);
+        s30 = _mm256_fmadd_pd(v3, b0, s30);
+        s31 = _mm256_fmadd_pd(v3, b1, s31);
+      }
+      const __m256d n0 = _mm256_loadu_pd(tn + t);
+      const __m256d n1 = _mm256_loadu_pd(tn + t + 4);
+      _mm256_storeu_pd(
+          o0 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s00, _mm256_add_pd(vqn0, n0))));
+      _mm256_storeu_pd(
+          o0 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s01,
+                                                _mm256_add_pd(vqn0, n1))));
+      _mm256_storeu_pd(
+          o1 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s10, _mm256_add_pd(vqn1, n0))));
+      _mm256_storeu_pd(
+          o1 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s11,
+                                                _mm256_add_pd(vqn1, n1))));
+      _mm256_storeu_pd(
+          o2 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s20, _mm256_add_pd(vqn2, n0))));
+      _mm256_storeu_pd(
+          o2 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s21,
+                                                _mm256_add_pd(vqn2, n1))));
+      _mm256_storeu_pd(
+          o3 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s30, _mm256_add_pd(vqn3, n0))));
+      _mm256_storeu_pd(
+          o3 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s31,
+                                                _mm256_add_pd(vqn3, n1))));
+    }
+    for (; t + 4 <= n; t += 4) {
+      __m256d s0 = _mm256_setzero_pd();
+      __m256d s1 = _mm256_setzero_pd();
+      __m256d s2 = _mm256_setzero_pd();
+      __m256d s3 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < d; ++c) {
+        const __m256d bv = _mm256_loadu_pd(trn + c * n + t);
+        s0 = _mm256_fmadd_pd(_mm256_set1_pd(q0[c]), bv, s0);
+        s1 = _mm256_fmadd_pd(_mm256_set1_pd(q1[c]), bv, s1);
+        s2 = _mm256_fmadd_pd(_mm256_set1_pd(q2[c]), bv, s2);
+        s3 = _mm256_fmadd_pd(_mm256_set1_pd(q3[c]), bv, s3);
+      }
+      const __m256d nv = _mm256_loadu_pd(tn + t);
+      _mm256_storeu_pd(
+          o0 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s0, _mm256_add_pd(vqn0, nv))));
+      _mm256_storeu_pd(
+          o1 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s1, _mm256_add_pd(vqn1, nv))));
+      _mm256_storeu_pd(
+          o2 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s2, _mm256_add_pd(vqn2, nv))));
+      _mm256_storeu_pd(
+          o3 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s3, _mm256_add_pd(vqn3, nv))));
+    }
+    for (; t < n; ++t) {
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        const double bv = trn[c * n + t];
+        s0 = std::fma(q0[c], bv, s0);
+        s1 = std::fma(q1[c], bv, s1);
+        s2 = std::fma(q2[c], bv, s2);
+        s3 = std::fma(q3[c], bv, s3);
+      }
+      o0[t] = std::max(0.0, std::fma(-2.0, s0, qn0 + tn[t]));
+      o1[t] = std::max(0.0, std::fma(-2.0, s1, qn1 + tn[t]));
+      o2[t] = std::max(0.0, std::fma(-2.0, s2, qn2 + tn[t]));
+      o3[t] = std::max(0.0, std::fma(-2.0, s3, qn3 + tn[t]));
+    }
+  }
+  for (; i + 2 <= r1; i += 2) {
+    const double* q0 = q + i * d;
+    const double* q1 = q0 + d;
+    const double qn0 = dot(q0, q0, d);
+    const double qn1 = dot(q1, q1, d);
+    const __m256d vqn0 = _mm256_set1_pd(qn0);
+    const __m256d vqn1 = _mm256_set1_pd(qn1);
+    double* o0 = out + i * n;
+    double* o1 = o0 + n;
+    std::size_t t = 0;
+    for (; t + 16 <= n; t += 16) {
+      __m256d s00 = _mm256_setzero_pd(), s01 = _mm256_setzero_pd();
+      __m256d s02 = _mm256_setzero_pd(), s03 = _mm256_setzero_pd();
+      __m256d s10 = _mm256_setzero_pd(), s11 = _mm256_setzero_pd();
+      __m256d s12 = _mm256_setzero_pd(), s13 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < d; ++c) {
+        const double* col = trn + c * n + t;
+        const __m256d b0 = _mm256_loadu_pd(col);
+        const __m256d b1 = _mm256_loadu_pd(col + 4);
+        const __m256d b2 = _mm256_loadu_pd(col + 8);
+        const __m256d b3 = _mm256_loadu_pd(col + 12);
+        const __m256d v0 = _mm256_set1_pd(q0[c]);
+        const __m256d v1 = _mm256_set1_pd(q1[c]);
+        s00 = _mm256_fmadd_pd(v0, b0, s00);
+        s01 = _mm256_fmadd_pd(v0, b1, s01);
+        s02 = _mm256_fmadd_pd(v0, b2, s02);
+        s03 = _mm256_fmadd_pd(v0, b3, s03);
+        s10 = _mm256_fmadd_pd(v1, b0, s10);
+        s11 = _mm256_fmadd_pd(v1, b1, s11);
+        s12 = _mm256_fmadd_pd(v1, b2, s12);
+        s13 = _mm256_fmadd_pd(v1, b3, s13);
+      }
+      // Fused epilogue: d = max(0, (qn + tn) - 2 * cross), no second pass.
+      const __m256d n0 = _mm256_loadu_pd(tn + t);
+      const __m256d n1 = _mm256_loadu_pd(tn + t + 4);
+      const __m256d n2 = _mm256_loadu_pd(tn + t + 8);
+      const __m256d n3 = _mm256_loadu_pd(tn + t + 12);
+      _mm256_storeu_pd(
+          o0 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s00, _mm256_add_pd(vqn0, n0))));
+      _mm256_storeu_pd(
+          o0 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s01,
+                                                _mm256_add_pd(vqn0, n1))));
+      _mm256_storeu_pd(
+          o0 + t + 8,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s02,
+                                                _mm256_add_pd(vqn0, n2))));
+      _mm256_storeu_pd(
+          o0 + t + 12,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s03,
+                                                _mm256_add_pd(vqn0, n3))));
+      _mm256_storeu_pd(
+          o1 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s10, _mm256_add_pd(vqn1, n0))));
+      _mm256_storeu_pd(
+          o1 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s11,
+                                                _mm256_add_pd(vqn1, n1))));
+      _mm256_storeu_pd(
+          o1 + t + 8,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s12,
+                                                _mm256_add_pd(vqn1, n2))));
+      _mm256_storeu_pd(
+          o1 + t + 12,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s13,
+                                                _mm256_add_pd(vqn1, n3))));
+    }
+    for (; t + 4 <= n; t += 4) {
+      __m256d s0 = _mm256_setzero_pd();
+      __m256d s1 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < d; ++c) {
+        const __m256d bv = _mm256_loadu_pd(trn + c * n + t);
+        s0 = _mm256_fmadd_pd(_mm256_set1_pd(q0[c]), bv, s0);
+        s1 = _mm256_fmadd_pd(_mm256_set1_pd(q1[c]), bv, s1);
+      }
+      const __m256d nv = _mm256_loadu_pd(tn + t);
+      _mm256_storeu_pd(
+          o0 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s0, _mm256_add_pd(vqn0, nv))));
+      _mm256_storeu_pd(
+          o1 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s1, _mm256_add_pd(vqn1, nv))));
+    }
+    for (; t < n; ++t) {
+      double s0 = 0.0, s1 = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        const double bv = trn[c * n + t];
+        s0 = std::fma(q0[c], bv, s0);
+        s1 = std::fma(q1[c], bv, s1);
+      }
+      o0[t] = std::max(0.0, std::fma(-2.0, s0, qn0 + tn[t]));
+      o1[t] = std::max(0.0, std::fma(-2.0, s1, qn1 + tn[t]));
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* q0 = q + i * d;
+    const double qn0 = dot(q0, q0, d);
+    const __m256d vqn0 = _mm256_set1_pd(qn0);
+    double* o0 = out + i * n;
+    std::size_t t = 0;
+    for (; t + 16 <= n; t += 16) {
+      __m256d s00 = _mm256_setzero_pd(), s01 = _mm256_setzero_pd();
+      __m256d s02 = _mm256_setzero_pd(), s03 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < d; ++c) {
+        const double* col = trn + c * n + t;
+        const __m256d v0 = _mm256_set1_pd(q0[c]);
+        s00 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(col), s00);
+        s01 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(col + 4), s01);
+        s02 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(col + 8), s02);
+        s03 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(col + 12), s03);
+      }
+      const __m256d n0 = _mm256_loadu_pd(tn + t);
+      const __m256d n1 = _mm256_loadu_pd(tn + t + 4);
+      const __m256d n2 = _mm256_loadu_pd(tn + t + 8);
+      const __m256d n3 = _mm256_loadu_pd(tn + t + 12);
+      _mm256_storeu_pd(
+          o0 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s00, _mm256_add_pd(vqn0, n0))));
+      _mm256_storeu_pd(
+          o0 + t + 4,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s01,
+                                                _mm256_add_pd(vqn0, n1))));
+      _mm256_storeu_pd(
+          o0 + t + 8,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s02,
+                                                _mm256_add_pd(vqn0, n2))));
+      _mm256_storeu_pd(
+          o0 + t + 12,
+          _mm256_max_pd(vzero, _mm256_fnmadd_pd(vtwo, s03,
+                                                _mm256_add_pd(vqn0, n3))));
+    }
+    for (; t + 4 <= n; t += 4) {
+      __m256d s0 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < d; ++c)
+        s0 = _mm256_fmadd_pd(_mm256_set1_pd(q0[c]),
+                             _mm256_loadu_pd(trn + c * n + t), s0);
+      const __m256d nv = _mm256_loadu_pd(tn + t);
+      _mm256_storeu_pd(
+          o0 + t, _mm256_max_pd(vzero, _mm256_fnmadd_pd(
+                                           vtwo, s0, _mm256_add_pd(vqn0, nv))));
+    }
+    for (; t < n; ++t) {
+      double s0 = 0.0;
+      for (std::size_t c = 0; c < d; ++c)
+        s0 = std::fma(q0[c], trn[c * n + t], s0);
+      o0[t] = std::max(0.0, std::fma(-2.0, s0, qn0 + tn[t]));
+    }
+  }
+}
+
+/// One vector of mult * exp(scale * x): the exact operation sequence of the
+/// scalar exp_core, four lanes at a time.  Always inlined so every caller
+/// produces bit-identical element values.
+__attribute__((target("avx2,fma"), always_inline)) inline __m256d exp4(
+    __m256d x, __m256d vscale, __m256d vmult) {
+  x = _mm256_mul_pd(x, vscale);
+  x = _mm256_min_pd(_mm256_set1_pd(kExpHi),
+                    _mm256_max_pd(_mm256_set1_pd(kExpLo), x));
+  // k = round-to-nearest-even(x * log2 e): matches std::lrint in the
+  // scalar core under the default rounding mode.
+  const __m128i k32 =
+      _mm256_cvtpd_epi32(_mm256_mul_pd(x, _mm256_set1_pd(kLog2E)));
+  const __m256d kd = _mm256_cvtepi32_pd(k32);
+  __m256d r = _mm256_fnmadd_pd(kd, _mm256_set1_pd(kLn2Hi), x);
+  r = _mm256_fnmadd_pd(kd, _mm256_set1_pd(kLn2Lo), r);
+  __m256d p = _mm256_set1_pd(kExpC[12]);
+  for (int ci = 11; ci >= 0; --ci)
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kExpC[ci]));
+  // 2^k via exponent-field construction; k+1023 stays in [2, 2045] after
+  // the clamp, so no overflow or denormal path.
+  const __m256i bits = _mm256_slli_epi64(
+      _mm256_add_epi64(_mm256_cvtepi32_epi64(k32), _mm256_set1_epi64x(1023)),
+      52);
+  const __m256d twok = _mm256_castsi256_pd(bits);
+  return _mm256_mul_pd(_mm256_mul_pd(p, twok), vmult);
+}
+
+__attribute__((target("avx2,fma"))) void exp_scale_avx2(
+    const double* in, double* out, std::size_t n, double scale, double mult) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vmult = _mm256_set1_pd(mult);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, exp4(_mm256_loadu_pd(in + i), vscale, vmult));
+  for (; i < n; ++i) out[i] = mult * exp_core(scale * in[i]);
+}
+
+__attribute__((target("avx2,fma"))) double exp_scale_dot_avx2(
+    const double* in, double* out, const double* w, std::size_t n,
+    double scale, double mult) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vmult = _mm256_set1_pd(mult);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  // Four independent exp chains per iteration keep the FMA pipes busy (a
+  // single Horner chain is latency-bound); each element's value chain is
+  // the same as in the 4-wide loop below, and each dot accumulator lane
+  // owns a fixed (i mod 16) slice, so the sum depends only on n.
+  for (; i + 16 <= n; i += 16) {
+    const __m256d e0 = exp4(_mm256_loadu_pd(in + i), vscale, vmult);
+    const __m256d e1 = exp4(_mm256_loadu_pd(in + i + 4), vscale, vmult);
+    const __m256d e2 = exp4(_mm256_loadu_pd(in + i + 8), vscale, vmult);
+    const __m256d e3 = exp4(_mm256_loadu_pd(in + i + 12), vscale, vmult);
+    _mm256_storeu_pd(out + i, e0);
+    _mm256_storeu_pd(out + i + 4, e1);
+    _mm256_storeu_pd(out + i + 8, e2);
+    _mm256_storeu_pd(out + i + 12, e3);
+    acc0 = _mm256_fmadd_pd(e0, _mm256_loadu_pd(w + i), acc0);
+    acc1 = _mm256_fmadd_pd(e1, _mm256_loadu_pd(w + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(e2, _mm256_loadu_pd(w + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(e3, _mm256_loadu_pd(w + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d e = exp4(_mm256_loadu_pd(in + i), vscale, vmult);
+    _mm256_storeu_pd(out + i, e);
+    acc0 = _mm256_fmadd_pd(e, _mm256_loadu_pd(w + i), acc0);
+  }
+  const __m256d t =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, t);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    out[i] = mult * exp_core(scale * in[i]);
+    sum = std::fma(out[i], w[i], sum);
+  }
+  return sum;
+}
+
+#endif  // YOSO_KERNELS_X86
+
+}  // namespace
+
+// --- public drivers --------------------------------------------------------
+
+std::string active_isa() { return use_avx2() ? "avx2+fma" : "generic"; }
+
+double dot(const double* a, const double* b, std::size_t n) {
+#if YOSO_KERNELS_X86
+  if (use_avx2()) return dot_avx2(a, b, n);
+#endif
+  return dot_generic(a, b, n);
+}
+
+void gemm(const double* a, const double* b, double* c, std::size_t m,
+          std::size_t k, std::size_t n, ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  YOSO_REQUIRE(c != nullptr, "kernels::gemm: null output");
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0);
+    return;
+  }
+  YOSO_REQUIRE(a != nullptr && b != nullptr, "kernels::gemm: null input");
+  for_row_blocks(pool, m, [&](std::size_t r0, std::size_t r1) {
+#if YOSO_KERNELS_X86
+    if (use_avx2()) {
+      gemm_rows_avx2(a, b, c, r0, r1, k, n);
+      return;
+    }
+#endif
+    gemm_rows_generic(a, b, c, r0, r1, k, n);
+  });
+}
+
+void gemv(const double* a, const double* x, double* y, std::size_t m,
+          std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) y[i] = dot(a + i * n, x, n);
+}
+
+void sgemm_ab(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  YOSO_REQUIRE(c != nullptr, "kernels::sgemm_ab: null output");
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  YOSO_REQUIRE(a != nullptr && b != nullptr, "kernels::sgemm_ab: null input");
+  for_row_blocks(pool, m, [&](std::size_t r0, std::size_t r1) {
+#if YOSO_KERNELS_X86
+    if (use_avx2()) {
+      sgemm_ab_rows_avx2(a, b, c, r0, r1, k, n);
+      return;
+    }
+#endif
+    sgemm_ab_rows_generic(a, b, c, r0, r1, k, n);
+  });
+}
+
+void sgemm_abt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t n, std::size_t k, ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  YOSO_REQUIRE(c != nullptr, "kernels::sgemm_abt: null output");
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  YOSO_REQUIRE(a != nullptr && b != nullptr, "kernels::sgemm_abt: null input");
+  // Pack B (n x k) into B^T (k x n) so the product reads unit-stride
+  // panels; A * B^T then runs through the same row kernel as sgemm_ab.
+  std::vector<float> bt(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const float* bj = b + j * k;
+    for (std::size_t t = 0; t < k; ++t) bt[t * n + j] = bj[t];
+  }
+  const float* btp = bt.data();
+  for_row_blocks(pool, m, [&](std::size_t r0, std::size_t r1) {
+#if YOSO_KERNELS_X86
+    if (use_avx2()) {
+      sgemm_ab_rows_avx2(a, btp, c, r0, r1, k, n);
+      return;
+    }
+#endif
+    sgemm_ab_rows_generic(a, btp, c, r0, r1, k, n);
+  });
+}
+
+void sgemm_atb_acc(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n, ThreadPool* pool) {
+  if (k == 0 || n == 0 || m == 0) return;
+  YOSO_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+               "kernels::sgemm_atb_acc: null operand");
+  for_row_blocks(pool, k, [&](std::size_t t0, std::size_t t1) {
+#if YOSO_KERNELS_X86
+    if (use_avx2()) {
+      satb_rows_avx2(a, b, c, t0, t1, m, k, n);
+      return;
+    }
+#endif
+    satb_rows_generic(a, b, c, t0, t1, m, k, n);
+  });
+}
+
+PackedRows pack_rows(const double* src, std::size_t rows, std::size_t dim) {
+  YOSO_REQUIRE(src != nullptr || rows == 0, "kernels::pack_rows: null input");
+  PackedRows p;
+  p.rows = rows;
+  p.dim = dim;
+  p.data.resize(rows * dim);
+  p.norms.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* sr = src + r * dim;
+    for (std::size_t c = 0; c < dim; ++c) p.data[c * rows + r] = sr[c];
+    p.norms[r] = dot(sr, sr, dim);
+  }
+  return p;
+}
+
+void pairwise_sq_dists(const double* queries, std::size_t q,
+                       const PackedRows& packed, double* out,
+                       ThreadPool* pool) {
+  if (q == 0 || packed.rows == 0) return;
+  YOSO_REQUIRE(queries != nullptr && out != nullptr,
+               "kernels::pairwise_sq_dists: null operand");
+  YOSO_REQUIRE(packed.data.size() == packed.rows * packed.dim &&
+                   packed.norms.size() == packed.rows,
+               "kernels::pairwise_sq_dists: inconsistent PackedRows");
+  const double* trn = packed.data.data();
+  const double* tn = packed.norms.data();
+  const std::size_t d = packed.dim;
+  const std::size_t n = packed.rows;
+  for_row_blocks(pool, q, [&](std::size_t r0, std::size_t r1) {
+#if YOSO_KERNELS_X86
+    if (use_avx2()) {
+      pairwise_rows_avx2(queries, d, r0, r1, trn, tn, n, out);
+      return;
+    }
+#endif
+    pairwise_rows_generic(queries, d, r0, r1, trn, tn, n, out);
+  });
+}
+
+void exp_scale(const double* in, double* out, std::size_t n, double scale,
+               double mult) {
+  if (n == 0) return;
+  YOSO_REQUIRE(in != nullptr && out != nullptr,
+               "kernels::exp_scale: null operand");
+#if YOSO_KERNELS_X86
+  if (use_avx2()) {
+    exp_scale_avx2(in, out, n, scale, mult);
+    return;
+  }
+#endif
+  exp_scale_generic(in, out, n, scale, mult);
+}
+
+double exp_scale_dot(const double* in, double* out, const double* w,
+                     std::size_t n, double scale, double mult) {
+  if (n == 0) return 0.0;
+  YOSO_REQUIRE(in != nullptr && out != nullptr && w != nullptr,
+               "kernels::exp_scale_dot: null operand");
+#if YOSO_KERNELS_X86
+  if (use_avx2()) return exp_scale_dot_avx2(in, out, w, n, scale, mult);
+#endif
+  return exp_scale_dot_generic(in, out, w, n, scale, mult);
+}
+
+}  // namespace yoso::kernels

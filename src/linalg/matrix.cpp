@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels.h"
 #include "util/contract.h"
 
 namespace yoso {
@@ -39,14 +40,8 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   YOSO_REQUIRE(cols_ == rhs.rows_, "Matrix::operator*: ", rows_, "x", cols_,
                " * ", rhs.rows_, "x", rhs.cols_);
   Matrix out(rows_, rhs.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < rhs.cols_; ++j)
-        out(i, j) += a * rhs(k, j);
-    }
-  }
+  kernels::gemm(data_.data(), rhs.data_.data(), out.data_.data(), rows_,
+                cols_, rhs.cols_);
   return out;
 }
 
@@ -83,12 +78,7 @@ std::vector<double> Matrix::matvec(std::span<const double> x) const {
   YOSO_REQUIRE(x.size() == cols_, "Matrix::matvec: x has ", x.size(),
                " entries, matrix is ", rows_, "x", cols_);
   std::vector<double> y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const double* row_ptr = &data_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
-    y[r] = acc;
-  }
+  kernels::gemv(data_.data(), x.data(), y.data(), rows_, cols_);
   return y;
 }
 
@@ -118,11 +108,12 @@ Cholesky::Cholesky(const Matrix& a, double jitter) {
   double eps = 0.0;
   for (int attempt = 0; attempt < 8; ++attempt) {
     l_ = Matrix(n, n);
+    const double* ld = l_.data().data();
     bool ok = true;
     for (std::size_t i = 0; i < n && ok; ++i) {
       for (std::size_t j = 0; j <= i; ++j) {
         double sum = a(i, j) + (i == j ? eps : 0.0);
-        for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+        sum -= kernels::dot(ld + i * n, ld + j * n, j);
         if (i == j) {
           if (sum <= 0.0) {
             ok = false;
@@ -145,9 +136,9 @@ std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
   YOSO_REQUIRE(b.size() == n, "Cholesky::solve_lower: b has ", b.size(),
                " entries, factor is ", n, "x", n);
   std::vector<double> y(n);
+  const double* ld = l_.data().data();
   for (std::size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    const double sum = b[i] - kernels::dot(ld + i * n, y.data(), i);
     y[i] = sum / l_(i, i);
   }
   return y;

@@ -1,7 +1,8 @@
 #include "nn/im2col.h"
 
-#include <cstring>
 #include <stdexcept>
+
+#include "linalg/kernels.h"
 
 namespace yoso {
 
@@ -81,47 +82,27 @@ Tensor col2im(const ColMatrix& cols, const std::vector<int>& input_shape,
   return gx;
 }
 
+// The three conv products are thin wrappers over the shared blocked/SIMD
+// kernel layer (linalg/kernels.h), which owns the register tiling, engine
+// dispatch and determinism rules.
+
 void matmul_abt(const float* a, const float* b, float* c, int m, int n,
                 int k) {
-  for (int i = 0; i < m; ++i) {
-    const float* ai = a + static_cast<std::size_t>(i) * k;
-    float* ci = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* bj = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int t = 0; t < k; ++t) acc += ai[t] * bj[t];
-      ci[j] = acc;
-    }
-  }
+  kernels::sgemm_abt(a, b, c, static_cast<std::size_t>(m),
+                     static_cast<std::size_t>(n), static_cast<std::size_t>(k));
 }
 
 void matmul_ab(const float* a, const float* b, float* c, int m, int k,
                int n) {
-  std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
-  for (int i = 0; i < m; ++i) {
-    const float* ai = a + static_cast<std::size_t>(i) * k;
-    float* ci = c + static_cast<std::size_t>(i) * n;
-    for (int t = 0; t < k; ++t) {
-      const float av = ai[t];
-      if (av == 0.0f) continue;
-      const float* bt = b + static_cast<std::size_t>(t) * n;
-      for (int j = 0; j < n; ++j) ci[j] += av * bt[j];
-    }
-  }
+  kernels::sgemm_ab(a, b, c, static_cast<std::size_t>(m),
+                    static_cast<std::size_t>(k), static_cast<std::size_t>(n));
 }
 
 void matmul_atb_acc(const float* a, const float* b, float* c, int m, int k,
                     int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* ai = a + static_cast<std::size_t>(i) * k;
-    const float* bi = b + static_cast<std::size_t>(i) * n;
-    for (int t = 0; t < k; ++t) {
-      const float av = ai[t];
-      if (av == 0.0f) continue;
-      float* ct = c + static_cast<std::size_t>(t) * n;
-      for (int j = 0; j < n; ++j) ct[j] += av * bi[j];
-    }
-  }
+  kernels::sgemm_atb_acc(a, b, c, static_cast<std::size_t>(m),
+                         static_cast<std::size_t>(k),
+                         static_cast<std::size_t>(n));
 }
 
 }  // namespace yoso

@@ -1,36 +1,33 @@
 #include "predictor/gp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "util/contract.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace yoso {
 
-double GpRegressor::kernel(std::span<const double> a,
-                           std::span<const double> b) const {
-  const double d2 = squared_distance(a, b);
-  return hp_.signal_variance *
-         std::exp(-d2 / (2.0 * hp_.lengthscale * hp_.lengthscale));
-}
-
-double GpRegressor::fit_once(const Matrix& xs, std::span<const double> yc) {
-  const std::size_t n = xs.rows();
+double GpRegressor::fit_from_dists(const Matrix& d2,
+                                   std::span<const double> yc) {
+  const std::size_t n = d2.rows();
+  const double l = hp_.lengthscale;
   Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double v = kernel(xs.row(i), xs.row(j));
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-    k(i, i) += hp_.noise_variance;
-  }
+  const double* din = d2.data().data();
+  double* kout = k.data().data();
+  // K = s^2 exp(-D / (2 l^2)), exponentiated row by row so an element's
+  // vector/remainder position depends only on the row length — the same
+  // rule the predict path follows.
+  for (std::size_t i = 0; i < n; ++i)
+    kernels::exp_scale(din + i * n, kout + i * n, n, -1.0 / (2.0 * l * l),
+                       hp_.signal_variance);
+  k.add_diagonal(hp_.noise_variance);
   chol_ = std::make_unique<Cholesky>(k);
   alpha_ = chol_->solve(yc);
   // log p(y) = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)
-  double fit_term = 0.0;
-  for (std::size_t i = 0; i < n; ++i) fit_term += yc[i] * alpha_[i];
+  const double fit_term = kernels::dot(yc.data(), alpha_.data(), n);
   return -0.5 * fit_term - 0.5 * chol_->log_determinant() -
          0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
 }
@@ -51,8 +48,19 @@ void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
   }
   y_var = std::max(y_var / static_cast<double>(y.size()), 1e-12);
 
+  // One distance-matrix build per fit: only the exponentiation depends on
+  // the hyper-parameters, so the tuning grid below re-reads this matrix
+  // instead of recomputing O(n^2 d) kernel dots per grid point.
+  const std::size_t n = train_x_.rows();
+  packed_train_ =
+      kernels::pack_rows(train_x_.data().data(), n, train_x_.cols());
+  Matrix d2(n, n);
+  kernels::pairwise_sq_dists(train_x_.data().data(), n, packed_train_,
+                             d2.data().data(), nullptr);
+  distance_builds_ = 1;
+
   if (!tune_) {
-    lml_ = fit_once(train_x_, yc);
+    lml_ = fit_from_dists(d2, yc);
     return;
   }
 
@@ -62,20 +70,74 @@ void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
   const double base_l = std::sqrt(d);
   GpHyperParams best_hp;
   double best_lml = -1e300;
+  std::vector<double> best_alpha;
+  std::unique_ptr<Cholesky> best_chol;
   for (double lf : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     for (double nf : {1e-4, 1e-3, 1e-2}) {
       hp_.lengthscale = base_l * lf;
       hp_.signal_variance = y_var;
       hp_.noise_variance = y_var * nf;
-      const double lml = fit_once(train_x_, yc);
+      const double lml = fit_from_dists(d2, yc);
       if (lml > best_lml) {
         best_lml = lml;
         best_hp = hp_;
+        best_alpha = std::move(alpha_);
+        best_chol = std::move(chol_);
       }
     }
   }
+  // The winning grid point's factorisation is kept as the fitted state —
+  // no redundant refit of the best hyper-parameters.
   hp_ = best_hp;
-  lml_ = fit_once(train_x_, yc);
+  alpha_ = std::move(best_alpha);
+  chol_ = std::move(best_chol);
+  lml_ = best_lml;
+}
+
+void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
+                               double* var, ThreadPool* pool) const {
+  const std::size_t n = train_x_.rows();
+  const std::size_t dim = train_x_.cols();
+  const double l = hp_.lengthscale;
+  const double scale = -1.0 / (2.0 * l * l);
+  // Queries go through in fixed-size chunks so the K* panel stays cache
+  // resident; the chunk size never affects results (each row's chain is
+  // self-contained).
+  constexpr std::size_t kChunk = 256;
+  const std::size_t buf_rows = std::min(kChunk, nq);
+  std::vector<double> xs(buf_rows * dim);
+  std::vector<double> kbuf(buf_rows * n);
+  for (std::size_t lo = 0; lo < nq; lo += kChunk) {
+    const std::size_t cnt = std::min(kChunk, nq - lo);
+    // Standardize with the exact per-row path single predict() uses.
+    for (std::size_t r = 0; r < cnt; ++r) {
+      const std::vector<double> row = scaler_.transform_row(
+          std::span<const double>(x + (lo + r) * dim, dim));
+      std::copy(row.begin(), row.end(), xs.begin() + r * dim);
+    }
+    kernels::pairwise_sq_dists(xs.data(), cnt, packed_train_, kbuf.data(),
+                               pool);
+    const auto row_work = [&](std::size_t r) {
+      double* krow = kbuf.data() + r * n;
+      // One fused pass: krow = s^2 exp(scale * d2), mean = krow . alpha.
+      mu[lo + r] = y_mean_ + kernels::exp_scale_dot(krow, krow, alpha_.data(),
+                                                    n, scale,
+                                                    hp_.signal_variance);
+      if (var != nullptr) {
+        // var = k(x,x) - k*^T K^-1 k*
+        const std::vector<double> v =
+            chol_->solve_lower(std::span<const double>(krow, n));
+        const double reduce = kernels::dot(v.data(), v.data(), v.size());
+        var[lo + r] = std::max(
+            0.0, hp_.signal_variance + hp_.noise_variance - reduce);
+      }
+    };
+    if (pool != nullptr && pool->workers() > 0 && cnt > 1) {
+      pool->parallel_for(0, cnt, row_work);
+    } else {
+      for (std::size_t r = 0; r < cnt; ++r) row_work(r);
+    }
+  }
 }
 
 double GpRegressor::predict(std::span<const double> x) const {
@@ -83,32 +145,51 @@ double GpRegressor::predict(std::span<const double> x) const {
   YOSO_REQUIRE(x.size() == train_x_.cols(),
                "GpRegressor::predict: feature dimension ", x.size(),
                " != fitted dimension ", train_x_.cols());
-  // Mean-only prediction is O(n d) — no triangular solve.
-  const auto xs = scaler_.transform_row(x);
-  double mu = y_mean_;
-  for (std::size_t i = 0; i < train_x_.rows(); ++i)
-    mu += kernel(train_x_.row(i), xs) * alpha_[i];
+  double mu = 0.0;
+  predict_rows(x.data(), 1, &mu, nullptr, nullptr);
   return mu;
+}
+
+std::vector<double> GpRegressor::predict_batch(const Matrix& queries,
+                                               ThreadPool* pool) const {
+  YOSO_REQUIRE(!alpha_.empty(), "GpRegressor::predict_batch: not fitted");
+  YOSO_REQUIRE(queries.cols() == train_x_.cols(),
+               "GpRegressor::predict_batch: feature dimension ",
+               queries.cols(), " != fitted dimension ", train_x_.cols());
+  std::vector<double> mu(queries.rows());
+  if (!mu.empty())
+    predict_rows(queries.data().data(), queries.rows(), mu.data(), nullptr,
+                 pool);
+  return mu;
+}
+
+std::vector<std::pair<double, double>> GpRegressor::predict_batch_with_variance(
+    const Matrix& queries, ThreadPool* pool) const {
+  YOSO_REQUIRE(!alpha_.empty(),
+               "GpRegressor::predict_batch_with_variance: not fitted");
+  YOSO_REQUIRE(queries.cols() == train_x_.cols(),
+               "GpRegressor::predict_batch_with_variance: feature dimension ",
+               queries.cols(), " != fitted dimension ", train_x_.cols());
+  std::vector<double> mu(queries.rows());
+  std::vector<double> var(queries.rows());
+  if (!mu.empty())
+    predict_rows(queries.data().data(), queries.rows(), mu.data(), var.data(),
+                 pool);
+  std::vector<std::pair<double, double>> out(queries.rows());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = {mu[i], var[i]};
+  return out;
 }
 
 std::pair<double, double> GpRegressor::predict_with_variance(
     std::span<const double> x) const {
-  YOSO_REQUIRE(!alpha_.empty(), "GpRegressor::predict_with_variance: not fitted");
+  YOSO_REQUIRE(!alpha_.empty(),
+               "GpRegressor::predict_with_variance: not fitted");
   YOSO_REQUIRE(x.size() == train_x_.cols(),
                "GpRegressor::predict_with_variance: feature dimension ",
                x.size(), " != fitted dimension ", train_x_.cols());
-  const auto xs = scaler_.transform_row(x);
-  const std::size_t n = train_x_.rows();
-  std::vector<double> kstar(n);
-  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(train_x_.row(i), xs);
-  double mu = y_mean_;
-  for (std::size_t i = 0; i < n; ++i) mu += kstar[i] * alpha_[i];
-  // var = k(x,x) - k*^T K^-1 k*
-  const std::vector<double> v = chol_->solve_lower(kstar);
-  double reduce = 0.0;
-  for (double vi : v) reduce += vi * vi;
-  const double var =
-      std::max(0.0, hp_.signal_variance + hp_.noise_variance - reduce);
+  double mu = 0.0;
+  double var = 0.0;
+  predict_rows(x.data(), 1, &mu, &var, nullptr);
   return {mu, var};
 }
 

@@ -4,14 +4,25 @@
 // Features are standardized and the target is centred; the lengthscale l,
 // signal variance s^2 and noise variance are either fixed or selected from
 // a small grid by maximizing the log marginal likelihood.
+//
+// The hot paths run on the shared kernel layer (linalg/kernels.h): fit
+// computes the pairwise squared-distance matrix once and re-exponentiates
+// it per hyper-parameter grid point (the winning point's Cholesky/alpha are
+// reused directly, no final refit), and prediction forms K* as one blocked
+// kernel product.  predict() and predict_batch() share the same per-row
+// operation chains, so batched means are bit-identical to per-row calls at
+// any thread count.
 
 #include <memory>
-#include <optional>
+#include <utility>
 
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "predictor/regressor.h"
 
 namespace yoso {
+
+class ThreadPool;
 
 struct GpHyperParams {
   double lengthscale = 4.0;
@@ -30,6 +41,17 @@ class GpRegressor : public Regressor {
   double predict(std::span<const double> x) const override;
   std::string name() const override { return "gaussian_process"; }
 
+  /// Predictive means for every row of `queries` (raw feature space).
+  /// Bit-identical to calling predict() per row, at any thread count; pass
+  /// a pool to spread the K* rows across workers (never from inside a
+  /// parallel_for body — nested pools throw).
+  std::vector<double> predict_batch(const Matrix& queries,
+                                    ThreadPool* pool = nullptr) const;
+
+  /// Batched predictive mean + variance (same determinism contract).
+  std::vector<std::pair<double, double>> predict_batch_with_variance(
+      const Matrix& queries, ThreadPool* pool = nullptr) const;
+
   /// Predictive mean and variance for one input.
   std::pair<double, double> predict_with_variance(
       std::span<const double> x) const;
@@ -39,18 +61,35 @@ class GpRegressor : public Regressor {
 
   const GpHyperParams& hyper_params() const { return hp_; }
 
+  /// Full pairwise distance-matrix constructions during the last fit():
+  /// the tuning grid shares one matrix across all 15 (lengthscale, noise)
+  /// points, so this is 1 after any fit.
+  std::size_t distance_matrix_builds() const { return distance_builds_; }
+
+  /// Fitted-state access so benches/tests can replicate the scalar
+  /// per-candidate baseline against the same fitted model.
+  const Matrix& train_inputs() const { return train_x_; }
+  std::span<const double> alpha() const { return alpha_; }
+  const Standardizer& input_scaler() const { return scaler_; }
+  double target_mean() const { return y_mean_; }
+
  private:
-  double kernel(std::span<const double> a, std::span<const double> b) const;
-  double fit_once(const Matrix& xs, std::span<const double> yc);
+  double fit_from_dists(const Matrix& d2, std::span<const double> yc);
+  /// Shared mean(/variance) path over `nq` contiguous raw query rows;
+  /// `var` may be null for mean-only prediction.
+  void predict_rows(const double* x, std::size_t nq, double* mu, double* var,
+                    ThreadPool* pool) const;
 
   GpHyperParams hp_;
   bool tune_;
   Standardizer scaler_;
-  Matrix train_x_;               // standardized
-  std::vector<double> alpha_;    // K^-1 (y - mean)
+  Matrix train_x_;                    // standardized
+  kernels::PackedRows packed_train_;  // transposed train panel + row norms
+  std::vector<double> alpha_;         // K^-1 (y - mean)
   std::unique_ptr<Cholesky> chol_;
   double y_mean_ = 0.0;
   double lml_ = 0.0;
+  std::size_t distance_builds_ = 0;
 };
 
 }  // namespace yoso

@@ -116,4 +116,20 @@ double PerformancePredictor::predict_latency_ms(
       latency_gp_.predict(codesign_features(g, config, skeleton_)));
 }
 
+std::vector<double> PerformancePredictor::predict_energy_mj_batch(
+    const Matrix& features, ThreadPool* pool) const {
+  if (!fitted_) throw std::logic_error("PerformancePredictor: not fitted");
+  std::vector<double> out = energy_gp_.predict_batch(features, pool);
+  for (double& v : out) v = std::exp(v);
+  return out;
+}
+
+std::vector<double> PerformancePredictor::predict_latency_ms_batch(
+    const Matrix& features, ThreadPool* pool) const {
+  if (!fitted_) throw std::logic_error("PerformancePredictor: not fitted");
+  std::vector<double> out = latency_gp_.predict_batch(features, pool);
+  for (double& v : out) v = std::exp(v);
+  return out;
+}
+
 }  // namespace yoso

@@ -61,6 +61,18 @@ class PerformancePredictor {
   double predict_latency_ms(const Genotype& g,
                             const AcceleratorConfig& config) const;
 
+  /// Batched predictions over pre-computed feature rows (one row per
+  /// candidate, from codesign_features).  One blocked K* product instead of
+  /// per-candidate scalar kernel dots; bit-identical to the per-candidate
+  /// calls at any thread count.  `pool` must not be a pool this thread is
+  /// already running a parallel_for on.
+  std::vector<double> predict_energy_mj_batch(const Matrix& features,
+                                              ThreadPool* pool = nullptr)
+      const;
+  std::vector<double> predict_latency_ms_batch(const Matrix& features,
+                                               ThreadPool* pool = nullptr)
+      const;
+
   bool fitted() const { return fitted_; }
   const NetworkSkeleton& skeleton() const { return skeleton_; }
   const GpRegressor& energy_model() const { return energy_gp_; }

@@ -1,0 +1,331 @@
+// The shared blocked/SIMD kernel layer (linalg/kernels.h): correctness
+// against naive references on randomized shapes — including sizes that are
+// not multiples of any register-tile width — plus the determinism contract
+// (bit-identical output at any thread count, sub-range calls identical to
+// full-range calls).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace yoso {
+namespace {
+
+std::vector<double> random_vec(Rng& rng, std::size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+std::vector<float> random_vecf(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return v;
+}
+
+std::vector<double> naive_gemm(const std::vector<double>& a,
+                               const std::vector<double>& b, std::size_t m,
+                               std::size_t k, std::size_t n) {
+  std::vector<double> c(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t t = 0; t < k; ++t)
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] += a[i * k + t] * b[t * n + j];
+  return c;
+}
+
+TEST(KernelsTest, ActiveIsaIsKnown) {
+  const std::string isa = kernels::active_isa();
+  EXPECT_TRUE(isa == "avx2+fma" || isa == "generic") << isa;
+}
+
+TEST(KernelsTest, DotMatchesNaive) {
+  Rng rng(7);
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 15u, 16u, 17u, 64u, 301u}) {
+    const auto a = random_vec(rng, n);
+    const auto b = random_vec(rng, n);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ref += a[i] * b[i];
+    EXPECT_NEAR(kernels::dot(a.data(), b.data(), n), ref,
+                1e-12 * (1.0 + std::abs(ref)))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, GemmMatchesNaiveOnRandomShapes) {
+  Rng rng(11);
+  // Shapes straddle the 2x16 double tile: odd rows, non-multiple columns.
+  const std::size_t shapes[][3] = {{1, 1, 1},   {2, 3, 5},   {7, 22, 17},
+                                   {8, 4, 16},  {9, 13, 33}, {16, 1, 31},
+                                   {5, 40, 64}, {13, 7, 3}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const auto a = random_vec(rng, m * k);
+    const auto b = random_vec(rng, k * n);
+    std::vector<double> c(m * n, -1.0);
+    kernels::gemm(a.data(), b.data(), c.data(), m, k, n);
+    const auto ref = naive_gemm(a, b, m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_NEAR(c[i], ref[i], 1e-11 * (1.0 + std::abs(ref[i])))
+          << m << "x" << k << "x" << n << " @" << i;
+  }
+}
+
+TEST(KernelsTest, GemvMatchesGemm) {
+  Rng rng(13);
+  const std::size_t m = 9, n = 23;
+  const auto a = random_vec(rng, m * n);
+  const auto x = random_vec(rng, n);
+  std::vector<double> y(m, 0.0);
+  kernels::gemv(a.data(), x.data(), y.data(), m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_DOUBLE_EQ(y[i], kernels::dot(a.data() + i * n, x.data(), n));
+}
+
+TEST(KernelsTest, SgemmAbMatchesNaive) {
+  Rng rng(17);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {2, 5, 32}, {7, 9, 33}, {5, 64, 31}, {9, 3, 100}, {4, 2, 8}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const auto a = random_vecf(rng, m * k);
+    const auto b = random_vecf(rng, k * n);
+    std::vector<float> c(m * n, -1.0f);
+    kernels::sgemm_ab(a.data(), b.data(), c.data(), m, k, n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        float ref = 0.0f;
+        for (std::size_t t = 0; t < k; ++t)
+          ref += a[i * k + t] * b[t * n + j];
+        ASSERT_NEAR(c[i * n + j], ref, 1e-4f * (1.0f + std::abs(ref)))
+            << m << "x" << k << "x" << n;
+      }
+  }
+}
+
+TEST(KernelsTest, SgemmAbtMatchesNaive) {
+  Rng rng(19);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {3, 7, 5}, {9, 33, 22}, {8, 32, 64}, {13, 5, 41}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], n = s[1], k = s[2];
+    const auto a = random_vecf(rng, m * k);
+    const auto b = random_vecf(rng, n * k);
+    std::vector<float> c(m * n, -1.0f);
+    kernels::sgemm_abt(a.data(), b.data(), c.data(), m, n, k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        float ref = 0.0f;
+        for (std::size_t t = 0; t < k; ++t)
+          ref += a[i * k + t] * b[j * k + t];
+        ASSERT_NEAR(c[i * n + j], ref, 1e-4f * (1.0f + std::abs(ref)))
+            << m << "x" << n << "x" << k;
+      }
+  }
+}
+
+TEST(KernelsTest, SgemmAtbAccAccumulatesOnTopOfC) {
+  Rng rng(23);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {5, 3, 9}, {140, 6, 33}, {17, 40, 32}, {260, 9, 7}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const auto a = random_vecf(rng, m * k);
+    const auto b = random_vecf(rng, m * n);
+    std::vector<float> c = random_vecf(rng, k * n);
+    const std::vector<float> c0 = c;
+    kernels::sgemm_atb_acc(a.data(), b.data(), c.data(), m, k, n);
+    for (std::size_t t = 0; t < k; ++t)
+      for (std::size_t j = 0; j < n; ++j) {
+        float ref = c0[t * n + j];
+        for (std::size_t i = 0; i < m; ++i)
+          ref += a[i * k + t] * b[i * n + j];
+        ASSERT_NEAR(c[t * n + j], ref,
+                    1e-3f * (1.0f + std::abs(ref)) +
+                        1e-4f * static_cast<float>(m))
+            << m << "x" << k << "x" << n;
+      }
+  }
+}
+
+TEST(KernelsTest, PairwiseSqDistsMatchesNaiveAndClampsAtZero) {
+  Rng rng(29);
+  for (const std::size_t n : {1u, 5u, 16u, 17u, 33u, 100u}) {
+    const std::size_t q = 7, d = 22;
+    const auto train = random_vec(rng, n * d);
+    const auto queries = random_vec(rng, q * d);
+    const kernels::PackedRows packed = kernels::pack_rows(train.data(), n, d);
+    std::vector<double> out(q * n, -1.0);
+    kernels::pairwise_sq_dists(queries.data(), q, packed, out.data());
+    for (std::size_t i = 0; i < q; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double ref = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+          const double diff = queries[i * d + c] - train[j * d + c];
+          ref += diff * diff;
+        }
+        ASSERT_NEAR(out[i * n + j], ref, 1e-10 * (1.0 + ref))
+            << "n=" << n << " (" << i << "," << j << ")";
+        ASSERT_GE(out[i * n + j], 0.0);
+      }
+  }
+  // Identical rows: the norm expansion can go slightly negative in exact
+  // arithmetic order; the fused epilogue must clamp at zero.
+  const std::size_t d = 9;
+  const auto row = random_vec(rng, d);
+  const kernels::PackedRows self = kernels::pack_rows(row.data(), 1, d);
+  double out = -1.0;
+  kernels::pairwise_sq_dists(row.data(), 1, self, &out);
+  EXPECT_GE(out, 0.0);
+  EXPECT_NEAR(out, 0.0, 1e-12);
+}
+
+TEST(KernelsTest, ExpScaleMatchesStdExp) {
+  Rng rng(31);
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 64u, 1001u}) {
+    std::vector<double> in(n);
+    for (double& v : in) v = rng.uniform(0.0, 50.0);
+    std::vector<double> out(n, -1.0);
+    const double scale = -0.37, mult = 1.7;
+    kernels::exp_scale(in.data(), out.data(), n, scale, mult);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ref = mult * std::exp(scale * in[i]);
+      ASSERT_NEAR(out[i], ref, 1e-14 * std::abs(ref) + 1e-300) << "n=" << n;
+    }
+  }
+  // In-place aliasing is part of the contract.
+  std::vector<double> buf = {0.0, 1.0, 2.0, 3.0, 4.0};
+  kernels::exp_scale(buf.data(), buf.data(), buf.size(), -1.0, 1.0);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_NEAR(buf[i], std::exp(-static_cast<double>(i)), 1e-15);
+}
+
+TEST(KernelsTest, ExpScaleDotFusesExpAndDot) {
+  Rng rng(53);
+  // Sizes straddle both the 16-wide interleave and the 4-wide/scalar tails.
+  for (const std::size_t n : {1u, 3u, 4u, 15u, 16u, 17u, 31u, 64u, 1000u}) {
+    std::vector<double> in(n), w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = rng.uniform(0.0, 40.0);
+      w[i] = rng.uniform(-1.0, 1.0);
+    }
+    const double scale = -0.21, mult = 2.3;
+    std::vector<double> ref(n);
+    kernels::exp_scale(in.data(), ref.data(), n, scale, mult);
+    std::vector<double> out(n, -1.0);
+    const double sum =
+        kernels::exp_scale_dot(in.data(), out.data(), w.data(), n, scale,
+                               mult);
+    double expect = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Element values are bit-identical to the unfused kernel.
+      ASSERT_EQ(out[i], ref[i]) << "n=" << n << " i=" << i;
+      expect += ref[i] * w[i];
+    }
+    ASSERT_NEAR(sum, expect, 1e-12 * (1.0 + std::abs(expect))) << "n=" << n;
+    // Repeated calls reduce in the same order — exactly reproducible.
+    std::vector<double> out2(n);
+    ASSERT_EQ(sum, kernels::exp_scale_dot(in.data(), out2.data(), w.data(),
+                                          n, scale, mult));
+    // In-place aliasing (the GP predict path) gives the same results.
+    std::vector<double> buf = in;
+    ASSERT_EQ(sum, kernels::exp_scale_dot(buf.data(), buf.data(), w.data(),
+                                          n, scale, mult));
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(buf[i], ref[i]);
+  }
+}
+
+TEST(KernelsTest, ExpScaleExtremeArgumentsStayFinite) {
+  const std::vector<double> in = {0.0, 1.0, 800.0, 5000.0};
+  std::vector<double> out(in.size());
+  kernels::exp_scale(in.data(), out.data(), in.size(), -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  for (const double v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  EXPECT_GT(out[1], out[2]);
+  // Positive overflow direction is clamped to the largest-representable
+  // range rather than producing inf from the exponent-field construction.
+  kernels::exp_scale(in.data(), out.data(), in.size(), 1.0, 1.0);
+  for (const double v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+// --- determinism: thread-count invariance (runs under TSan in CI) ----------
+
+class KernelsParallelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelsParallelTest, GemmBitIdenticalToSerial) {
+  Rng rng(37);
+  const std::size_t m = 45, k = 22, n = 50;
+  const auto a = random_vec(rng, m * k);
+  const auto b = random_vec(rng, k * n);
+  std::vector<double> serial(m * n, 0.0);
+  kernels::gemm(a.data(), b.data(), serial.data(), m, k, n, nullptr);
+  ThreadPool pool(GetParam());
+  std::vector<double> pooled(m * n, -1.0);
+  kernels::gemm(a.data(), b.data(), pooled.data(), m, k, n, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], pooled[i]) << "workers=" << GetParam() << " @" << i;
+}
+
+TEST_P(KernelsParallelTest, PairwiseBitIdenticalToSerial) {
+  Rng rng(41);
+  const std::size_t q = 37, n = 61, d = 22;
+  const auto train = random_vec(rng, n * d);
+  const auto queries = random_vec(rng, q * d);
+  const kernels::PackedRows packed = kernels::pack_rows(train.data(), n, d);
+  std::vector<double> serial(q * n, 0.0);
+  kernels::pairwise_sq_dists(queries.data(), q, packed, serial.data(),
+                             nullptr);
+  ThreadPool pool(GetParam());
+  std::vector<double> pooled(q * n, -1.0);
+  kernels::pairwise_sq_dists(queries.data(), q, packed, pooled.data(), &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], pooled[i]) << "workers=" << GetParam() << " @" << i;
+}
+
+TEST_P(KernelsParallelTest, SgemmAtbAccBitIdenticalToSerial) {
+  Rng rng(43);
+  const std::size_t m = 300, k = 33, n = 40;
+  const auto a = random_vecf(rng, m * k);
+  const auto b = random_vecf(rng, m * n);
+  std::vector<float> serial(k * n, 0.5f);
+  std::vector<float> pooled = serial;
+  kernels::sgemm_atb_acc(a.data(), b.data(), serial.data(), m, k, n, nullptr);
+  ThreadPool pool(GetParam());
+  kernels::sgemm_atb_acc(a.data(), b.data(), pooled.data(), m, k, n, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], pooled[i]) << "workers=" << GetParam() << " @" << i;
+}
+
+// Worker counts 0/1/7 give total thread counts 1/2/8 (caller participates).
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, KernelsParallelTest,
+                         ::testing::Values(0, 1, 7));
+
+// A row computed as part of a larger batch must be bit-identical to the
+// same row computed alone — the property that keeps GpRegressor::predict()
+// equal to predict_batch() rows.
+TEST(KernelsParallelTest, SubRangeRowsMatchFullRange) {
+  Rng rng(47);
+  const std::size_t q = 9, n = 37, d = 22;
+  const auto train = random_vec(rng, n * d);
+  const auto queries = random_vec(rng, q * d);
+  const kernels::PackedRows packed = kernels::pack_rows(train.data(), n, d);
+  std::vector<double> full(q * n, 0.0);
+  kernels::pairwise_sq_dists(queries.data(), q, packed, full.data());
+  for (std::size_t i = 0; i < q; ++i) {
+    std::vector<double> one(n, -1.0);
+    kernels::pairwise_sq_dists(queries.data() + i * d, 1, packed, one.data());
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_EQ(one[j], full[i * n + j]) << "row " << i << " col " << j;
+  }
+}
+
+}  // namespace
+}  // namespace yoso
