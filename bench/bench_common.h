@@ -9,7 +9,7 @@
 #include <string>
 
 #include "util/env.h"
-#include "util/stopwatch.h"
+#include "obs/timebase.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 

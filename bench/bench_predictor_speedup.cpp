@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/trace.h"
 #include "predictor/perf_predictor.h"
 #include "util/stats.h"
 
@@ -38,22 +39,39 @@ void run_speedup() {
   const std::size_t eval_n = scaled(100, 40);
   g_eval = collect_samples(eval_n, simulator, g_space, g_skeleton, rng);
 
-  // Simulator timing.
-  Stopwatch sim_sw;
-  for (const auto& s : g_eval)
-    simulator.simulate_network(s.genotype, g_skeleton, s.config);
-  const double sim_us = sim_sw.elapsed_us() / static_cast<double>(eval_n);
-
+  // Both paths are timed through the observability layer — the same spans
+  // a --trace-out run records — instead of ad-hoc stopwatches, so the
+  // numbers printed here and the per-phase table of a real run agree by
+  // construction (docs/OBSERVABILITY.md).
+  obs::set_enabled(true);
+  obs::reset_tracing();
+  {
+    YOSO_TRACE_SPAN("speedup.simulate");
+    for (const auto& s : g_eval)
+      simulator.simulate_network(s.genotype, g_skeleton, s.config);
+  }
   // Predictor timing + accuracy (features computed per query, as in the
   // search loop).
   std::vector<double> pe, te, pl, tl;
-  Stopwatch gp_sw;
-  for (const auto& s : g_eval) {
-    pe.push_back(g_predictor->predict_energy_mj(s.genotype, s.config));
-    pl.push_back(g_predictor->predict_latency_ms(s.genotype, s.config));
+  {
+    YOSO_TRACE_SPAN("speedup.gp_predict");
+    for (const auto& s : g_eval) {
+      pe.push_back(g_predictor->predict_energy_mj(s.genotype, s.config));
+      pl.push_back(g_predictor->predict_latency_ms(s.genotype, s.config));
+    }
   }
-  const double gp_us =
-      gp_sw.elapsed_us() / static_cast<double>(eval_n) / 2.0;  // per query
+  obs::set_enabled(false);
+  double sim_us = 0.0, gp_us = 0.0;
+  for (const obs::SpanAggregate& a : obs::summarize_spans()) {
+    // total_ns, not self_ns: the nested sim.network / gp child spans are
+    // part of the path under test.
+    if (a.name == "speedup.simulate")
+      sim_us = static_cast<double>(a.total_ns) / 1e3 /
+               static_cast<double>(eval_n);
+    if (a.name == "speedup.gp_predict")
+      gp_us = static_cast<double>(a.total_ns) / 1e3 /
+              static_cast<double>(eval_n) / 2.0;  // per query
+  }
   for (const auto& s : g_eval) {
     te.push_back(s.energy_mj);
     tl.push_back(s.latency_ms);

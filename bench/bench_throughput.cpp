@@ -23,6 +23,7 @@
 #include "bench_json.h"
 #include "core/evaluator.h"
 #include "core/two_stage.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -93,6 +94,40 @@ void bench_candidate_throughput(yoso::BenchJson& json) {
   table.print(std::cout);
   std::cout << "cache now holds " << fast.cache_size()
             << " designs  [checksum " << TextTable::fmt(sink, 1) << "]\n";
+
+  // Observability overhead guard (docs/OBSERVABILITY.md budget): the same
+  // batched workload with the layer disabled (every instrument is one
+  // relaxed load) and enabled (spans + counters recording).  The disabled
+  // number must track the batched_memo records above; the enabled delta is
+  // the price of --metrics-out/--trace-out.
+  fast.set_parallelism(bench_threads());
+  double cps_by_mode[2] = {0.0, 0.0};
+  for (const bool on : {false, true}) {
+    obs::set_enabled(on);
+    fast.clear_cache();
+    Stopwatch sw;
+    for (std::size_t i = 0; i < total; i += batch) {
+      const std::size_t n = std::min(batch, total - i);
+      sink += fast
+                  .evaluate_batch(std::span<const CandidateDesign>(
+                      stream.data() + i, n))
+                  .front()
+                  .energy_mj;
+    }
+    cps_by_mode[on ? 1 : 0] =
+        static_cast<double>(total) / sw.elapsed_seconds();
+  }
+  obs::set_enabled(false);
+  const double overhead_pct =
+      100.0 * (cps_by_mode[0] - cps_by_mode[1]) / cps_by_mode[0];
+  std::cout << "observability guard: disabled "
+            << TextTable::fmt(cps_by_mode[0], 0) << " cand/s, enabled "
+            << TextTable::fmt(cps_by_mode[1], 0) << " cand/s  (overhead "
+            << TextTable::fmt(overhead_pct, 1) << " %)\n";
+  json.record("obs_guard");
+  json.value("disabled_cand_per_s", cps_by_mode[0]);
+  json.value("enabled_cand_per_s", cps_by_mode[1]);
+  json.value("overhead_pct", overhead_pct);
 }
 
 }  // namespace

@@ -20,6 +20,13 @@
 //   --finalists  FILE  write finalist CSV
 //   --report     FILE  write a markdown design report for the winner
 //   --rtl        FILE  write a SystemVerilog skeleton of the winning config
+//   --metrics-out FILE  write the metrics snapshot as JSON (enables
+//                       observability for the run)
+//   --trace-out  FILE  write Chrome trace_event JSON for chrome://tracing /
+//                      Perfetto (enables observability for the run)
+//
+// Either observability flag also prints the per-phase cost table
+// (docs/OBSERVABILITY.md) after the results.
 
 #include <fstream>
 #include <iostream>
@@ -33,6 +40,9 @@
 #include "core/search.h"
 #include "core/serialize.h"
 #include "core/trace_io.h"
+#include "obs/metrics.h"
+#include "obs/timebase.h"
+#include "obs/trace.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -59,6 +69,10 @@ struct CliOptions {
   std::string finalists_file;
   std::string report_file;
   std::string rtl_file;
+  std::string metrics_out;
+  std::string trace_out;
+
+  bool observe() const { return !metrics_out.empty() || !trace_out.empty(); }
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -95,6 +109,8 @@ CliOptions parse_args(int argc, char** argv) {
       else if (key == "finalists") opt.finalists_file = value;
       else if (key == "report") opt.report_file = value;
       else if (key == "rtl") opt.rtl_file = value;
+      else if (key == "metrics-out") opt.metrics_out = value;
+      else if (key == "trace-out") opt.trace_out = value;
       else usage_error("unknown flag --" + key);
     } catch (const std::exception&) {
       usage_error("bad value '" + value + "' for --" + key);
@@ -118,6 +134,9 @@ RewardParams pick_reward(const CliOptions& opt) {
 
 int main(int argc, char** argv) {
   const CliOptions cli = parse_args(argc, argv);
+  const bool observe = cli.observe();
+  if (observe) obs::set_enabled(true);
+  const Stopwatch wall;  // denominator of the per-phase cost table
 
   DesignSpace space;
   const NetworkSkeleton skeleton = default_skeleton();
@@ -126,11 +145,15 @@ int main(int argc, char** argv) {
   const std::size_t threads = ThreadPool::resolve_threads(cli.threads);
   std::cout << "[1/3] building the fast evaluator (" << cli.samples
             << " simulator samples, " << threads << " thread(s))...\n";
+  // The evaluator and result objects outlive the phases, so the top-level
+  // phase spans use the manual begin/end API rather than a scoped block.
+  obs::begin_span("phase.build_evaluator");
   FastEvaluator fast(space, skeleton, simulator,
                      {.predictor_samples = cli.samples,
                       .seed = cli.seed,
                       .threads = threads});
   AccurateEvaluator accurate(skeleton);
+  obs::end_span("phase.build_evaluator");
 
   SearchOptions options;
   options.iterations = cli.iterations;
@@ -139,11 +162,13 @@ int main(int argc, char** argv) {
   options.seed = cli.seed;
   options.threads = threads;
   options.batch_size = cli.batch;
+  options.observe = observe;
 
   std::cout << "[2/3] running " << cli.searcher << " search ("
             << cli.iterations << " iterations, "
             << options.reward.to_string() << ")...\n";
   SearchResult result;
+  obs::begin_span("phase.search");
   if (cli.searcher == "rl") {
     result = YosoSearch(space, options).run(fast, &accurate);
   } else if (cli.searcher == "random") {
@@ -155,7 +180,9 @@ int main(int argc, char** argv) {
   } else {
     usage_error("unknown searcher '" + cli.searcher + "'");
   }
+  obs::end_span("phase.search");
 
+  obs::begin_span("phase.outputs");
   std::cout << "[3/3] results\n\n";
   TextTable table({"rank", "err %", "E (mJ)", "L (ms)", "area (mm2)",
                    "feasible", "config"});
@@ -198,6 +225,26 @@ int main(int argc, char** argv) {
     if (!os) usage_error("cannot open " + cli.rtl_file);
     os << export_systolic_rtl(result.best->candidate.config);
     std::cout << "RTL skeleton written to " << cli.rtl_file << "\n";
+  }
+  obs::end_span("phase.outputs");
+
+  if (observe) {
+    std::cout << "\n"
+              << obs::render_phase_table(obs::summarize_spans(),
+                                         wall.elapsed_seconds());
+    if (!cli.metrics_out.empty()) {
+      std::ofstream os(cli.metrics_out);
+      if (!os) usage_error("cannot open " + cli.metrics_out);
+      obs::write_metrics_json(os, obs::metrics_registry().snapshot());
+      std::cout << "metrics written to " << cli.metrics_out << "\n";
+    }
+    if (!cli.trace_out.empty()) {
+      std::ofstream os(cli.trace_out);
+      if (!os) usage_error("cannot open " + cli.trace_out);
+      obs::write_chrome_trace(os);
+      std::cout << "chrome trace written to " << cli.trace_out
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
   }
   return 0;
 }

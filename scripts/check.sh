@@ -30,7 +30,7 @@ cmake -B build-check -S . -DYOSO_WERROR=ON
 cmake --build build-check -j "$JOBS"
 ctest --test-dir build-check -j "$JOBS" --output-on-failure
 
-step "2/4 yoso-lint (tree + self-test + standalone headers) + format gate"
+step "2/4 yoso-lint (tree + self-test + standalone headers) + format + docs gates"
 # yoso-lint's clang engine reads the exported compile database; fail fast
 # with a clear message if it is missing (configure didn't run / ancient
 # CMake) or stale (older than the top-level CMakeLists.txt), instead of
@@ -51,6 +51,7 @@ if [ CMakeLists.txt -nt "$COMPILE_DB" ]; then
 fi
 cmake --build build-check --target lint
 python3 tools/yoso_format.py --root . --check --builtin-only
+python3 tools/yoso_docs_check.py .
 
 if [ "$FAST" -eq 1 ]; then
   step "skipping sanitizer stages (--fast)"

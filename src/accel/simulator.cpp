@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/contract.h"
 
 namespace yoso {
@@ -158,6 +159,10 @@ SimulationResult SystolicSimulator::simulate(
 SimulationResult SystolicSimulator::simulate_network(
     const Genotype& genotype, const NetworkSkeleton& skeleton,
     const AcceleratorConfig& config, int batch) const {
+  // Runs on workers during sample collection / accurate rerank; the span
+  // lands in the calling thread's own ring, so this is contention-free.
+  YOSO_TRACE_SPAN("sim.network");
+  obs::counter_add("sim.networks");
   return simulate(extract_layers(genotype, skeleton), config, batch);
 }
 

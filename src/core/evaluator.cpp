@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string_view>
 
+#include "obs/trace.h"
+
 namespace yoso {
 namespace {
 
@@ -74,6 +76,7 @@ std::vector<EvalResult> FastEvaluator::evaluate_batch(
   // to -Wthread-safety so cache_ access below is proven legal — and stays
   // illegal inside the parallel_for lambda, which holds no capabilities.
   ThreadRoleGuard coordinator(coordinator_);
+  YOSO_TRACE_SPAN("eval.fast_batch");
 
   std::vector<EvalResult> results(batch.size());
   std::vector<std::string> keys(batch.size());
@@ -98,12 +101,16 @@ std::vector<EvalResult> FastEvaluator::evaluate_batch(
   std::vector<EvalResult> computed(miss.size());
   if (!miss.empty()) {
     std::vector<std::vector<double>> feats(miss.size());
-    pool().parallel_for(0, miss.size(), [&](std::size_t j) {
-      const CandidateDesign& cand = batch[miss[j]];
-      computed[j].accuracy = accuracy_.hypernet_accuracy(cand.genotype);
-      feats[j] = codesign_features(cand.genotype, cand.config,
-                                   predictor_.skeleton());
-    });
+    {
+      YOSO_TRACE_SPAN("eval.accuracy_features");
+      pool().parallel_for(0, miss.size(), [&](std::size_t j) {
+        const CandidateDesign& cand = batch[miss[j]];
+        computed[j].accuracy = accuracy_.hypernet_accuracy(cand.genotype);
+        feats[j] = codesign_features(cand.genotype, cand.config,
+                                     predictor_.skeleton());
+      });
+    }
+    YOSO_TRACE_SPAN("eval.gp_predict");
     Matrix fx(miss.size(), feats.front().size());
     for (std::size_t j = 0; j < miss.size(); ++j)
       for (std::size_t c = 0; c < feats[j].size(); ++c)
@@ -117,6 +124,8 @@ std::vector<EvalResult> FastEvaluator::evaluate_batch(
       computed[j].energy_mj = std::max(1e-3, en[j]);
     }
   }
+  obs::counter_add("eval.cache_misses", miss.size());
+  obs::counter_add("eval.cache_hits", batch.size() - miss.size());
 
   // Cache insertion happens on the calling thread, in batch order, so the
   // cache contents are independent of the thread count.
@@ -163,6 +172,8 @@ EvalResult AccurateEvaluator::evaluate(const CandidateDesign& candidate) {
 
 std::vector<EvalResult> AccurateEvaluator::evaluate_batch(
     std::span<const CandidateDesign> batch) {
+  YOSO_TRACE_SPAN("eval.accurate_batch");
+  obs::counter_add("eval.accurate_evals", batch.size());
   std::vector<EvalResult> results(batch.size());
   pool().parallel_for(0, batch.size(), [&](std::size_t i) {
     results[i] = evaluate(batch[i]);

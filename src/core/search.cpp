@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace yoso {
 
 void FinalistPool::offer(const CandidateDesign& candidate, double reward,
@@ -38,6 +40,8 @@ std::vector<double> SearchLoop::submit(
       result_.trace.push_back({iteration_, reward, evals[j], batch[j]});
     ++iteration_;
   }
+  obs::counter_add("search.iterations", batch.size());
+  obs::counter_add("search.batches");
   return rewards;
 }
 
@@ -46,15 +50,23 @@ double SearchLoop::submit(const CandidateDesign& candidate) {
 }
 
 SearchResult SearchDriver::run(Evaluator& fast, Evaluator* accurate) {
+  if (options_.observe) obs::set_enabled(true);
   fast.set_parallelism(options_.threads);
   if (accurate != nullptr) accurate->set_parallelism(options_.threads);
   SearchResult result;
   SearchLoop loop(options_, fast, result);
   Rng rng(options_.seed ^ rng_salt());
-  search(loop, rng);
+  {
+    YOSO_TRACE_SPAN("search.step2_propose");
+    search(loop, rng);
+  }
   result.iterations_run = loop.iterations_done();
   result.finalists = loop.take_finalists();
-  rerank_finalists(result, options_.reward, accurate);
+  {
+    YOSO_TRACE_SPAN("search.step3_rerank");
+    rerank_finalists(result, options_.reward, accurate);
+  }
+  obs::counter_add("search.finalists", result.finalists.size());
   return result;
 }
 

@@ -53,6 +53,11 @@ struct SearchOptions {
   std::uint64_t seed = 7;
   std::size_t batch_size = 1;  ///< candidates proposed & evaluated per round
   std::size_t threads = 1;     ///< evaluation workers (1 serial, 0 = all HW)
+  /// Turns the observability layer on for this run: run() flips
+  /// obs::set_enabled(true) before Step 2, so metrics and trace spans record
+  /// (docs/OBSERVABILITY.md).  Off by default — instrumentation then costs
+  /// one relaxed atomic load per site.  Never affects search output.
+  bool observe = false;
 };
 
 /// A reranked finalist.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace yoso {
 
 Genotype uniform_path_sampler(Rng& rng) {
@@ -62,6 +64,7 @@ std::vector<EpochLog> run_training(PathNetwork& net, const Dataset& train,
     throw std::invalid_argument("training: empty dataset");
   if (options.epochs <= 0 || options.batch_size <= 0)
     throw std::invalid_argument("training: bad options");
+  YOSO_TRACE_SPAN("nn.train");
 
   SgdOptimizer opt(options.momentum, options.weight_decay);
   const std::size_t batches_per_epoch =
@@ -72,6 +75,7 @@ std::vector<EpochLog> run_training(PathNetwork& net, const Dataset& train,
   std::vector<EpochLog> logs;
   std::size_t step = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    YOSO_TRACE_SPAN("nn.epoch");
     const auto perm = rng.permutation(train.size());
     double loss_sum = 0.0;
     std::size_t loss_count = 0;
@@ -89,6 +93,7 @@ std::vector<EpochLog> run_training(PathNetwork& net, const Dataset& train,
       ++loss_count;
       ++step;
     }
+    obs::counter_add("nn.steps", batches_per_epoch);
     EpochLog log;
     log.epoch = epoch;
     log.train_loss = loss_sum / static_cast<double>(loss_count);

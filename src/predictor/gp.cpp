@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/trace.h"
 #include "util/contract.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -33,6 +34,7 @@ double GpRegressor::fit_from_dists(const Matrix& d2,
 }
 
 void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
+  YOSO_TRACE_SPAN("gp.fit");
   YOSO_REQUIRE(x.rows() == y.size() && x.rows() > 0,
                "GpRegressor::fit: design matrix is ", x.rows(), "x", x.cols(),
                " but y has ", y.size(), " targets");
@@ -152,6 +154,8 @@ double GpRegressor::predict(std::span<const double> x) const {
 
 std::vector<double> GpRegressor::predict_batch(const Matrix& queries,
                                                ThreadPool* pool) const {
+  YOSO_TRACE_SPAN("gp.predict_batch");
+  obs::counter_add("gp.predict_rows", queries.rows());
   YOSO_REQUIRE(!alpha_.empty(), "GpRegressor::predict_batch: not fitted");
   YOSO_REQUIRE(queries.cols() == train_x_.cols(),
                "GpRegressor::predict_batch: feature dimension ",

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "surrogate/accuracy_model.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +47,8 @@ std::vector<PerfSample> collect_samples(std::size_t count,
                                         const ConfigSpace& space,
                                         const NetworkSkeleton& skeleton,
                                         Rng& rng, std::size_t threads) {
+  YOSO_TRACE_SPAN("step1.collect_samples");
+  obs::counter_add("step1.samples", count);
   // Serial phase: all RNG draws, in the same per-sample order as the old
   // fully-serial loop (genotype first, then the config actions).
   std::vector<PerfSample> samples(count);
@@ -89,6 +92,7 @@ SampleMatrix to_matrix(const std::vector<PerfSample>& samples) {
 }
 
 void PerformancePredictor::fit(const std::vector<PerfSample>& samples) {
+  YOSO_TRACE_SPAN("step1.fit_gp");
   const SampleMatrix m = to_matrix(samples);
   // Both targets are positive with heavy upper tails (NLR configs are many
   // times slower than OS); the GPs regress log(y) and predictions

@@ -1,5 +1,7 @@
 #include "rl/reinforce.h"
 
+#include "obs/metrics.h"
+
 namespace yoso {
 
 void ReinforceTrainer::feedback(const Episode& episode, double reward) {
@@ -10,9 +12,11 @@ void ReinforceTrainer::feedback(const Episode& episode, double reward) {
                                   options_.entropy_weight);
   baseline_.add(reward);
   ++episodes_;
+  obs::counter_add("rl.episodes");
   if (++pending_ >= options_.batch_size) {
     controller_.update(options_.lr, options_.max_grad_norm);
     pending_ = 0;
+    obs::counter_add("rl.updates");
   }
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <limits>
 
+#include "obs/timebase.h"
 #include "util/contract.h"
 
 namespace yoso {
@@ -27,7 +28,11 @@ struct ThreadPool::Job {
   std::condition_variable finished;
 };
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers)
+    : obs_jobs_(&obs::metrics_registry().counter("pool.jobs")),
+      obs_busy_ns_(&obs::metrics_registry().counter("pool.worker_busy_ns")),
+      obs_idle_ns_(&obs::metrics_registry().counter("pool.worker_idle_ns")),
+      obs_depth_(&obs::metrics_registry().gauge("pool.inflight_indices")) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -76,6 +81,11 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+#ifndef YOSO_OBS_DISABLED
+    // Sentinel 0 = "observability was off when the window opened"; a window
+    // that straddles a toggle is simply not recorded.
+    const std::uint64_t wait_begin = obs::enabled() ? obs::now_ns() : 0;
+#endif
     {
       MutexLock lock(mutex_);
       while (!stop_ && generation_ == seen) mutex_.wait(wake_);
@@ -83,7 +93,14 @@ void ThreadPool::worker_loop() {
       seen = generation_;
       job = job_;
     }
+#ifndef YOSO_OBS_DISABLED
+    if (wait_begin != 0) obs_idle_ns_->add(obs::now_ns() - wait_begin);
+    const std::uint64_t run_begin = obs::enabled() ? obs::now_ns() : 0;
+#endif
     if (job) run_chunk(*job);
+#ifndef YOSO_OBS_DISABLED
+    if (run_begin != 0) obs_busy_ns_->add(obs::now_ns() - run_begin);
+#endif
   }
 }
 
@@ -109,6 +126,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                "ThreadPool::parallel_for: re-entrant call (the pool is "
                "already running a job; nest work in the body instead)");
 
+#ifndef YOSO_OBS_DISABLED
+  if (obs::enabled()) {
+    obs_jobs_->add();
+    obs_depth_->set(static_cast<double>(count));
+  }
+#endif
+
   auto job = std::make_shared<Job>();
   job->begin = begin;
   job->count = count;
@@ -132,6 +156,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     job_ = nullptr;
   }
   busy_.store(false, std::memory_order_release);
+#ifndef YOSO_OBS_DISABLED
+  obs_depth_->set(0.0);
+#endif
   const Job::ErrorSlot failure = job->error.load();
   if (failure.error) std::rethrow_exception(failure.error);
 }

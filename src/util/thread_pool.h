@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/thread_annotations.h"
 
 namespace yoso {
@@ -60,6 +61,13 @@ class ThreadPool {
   static void run_chunk(Job& job);
 
   std::vector<std::thread> workers_;
+  // Cached instrument handles (process-lifetime, see MetricsRegistry): the
+  // worker loop must not pay a name lookup per job.  All updates are gated
+  // on obs::enabled(), so an idle registry costs one relaxed load.
+  obs::Counter* obs_jobs_;
+  obs::Counter* obs_busy_ns_;
+  obs::Counter* obs_idle_ns_;
+  obs::Gauge* obs_depth_;
   Mutex mutex_;
   std::condition_variable wake_;  // paired with mutex_
   // Posted job (workers copy the pointer), its generation counter, and the

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Documentation gate: dead relative links and stale CLI flag references.
+
+Two checks, both tuned to fail loudly in CI rather than guess:
+
+1. Relative markdown links.  Every ``[text](target)`` in a tracked ``*.md``
+   file whose target is not an absolute URL or a pure anchor must resolve to
+   an existing file (relative to the markdown file's directory, ``#anchor``
+   suffixes stripped).
+
+2. CLI flag reference.  The source of truth is ``parse_args`` in
+   ``examples/yoso_cli.cpp`` (the ``key == "..."`` comparisons).  The flag
+   list in the file's header comment and the region of ``README.md`` fenced
+   by ``<!-- cli-flags:begin -->`` / ``<!-- cli-flags:end -->`` must both
+   mention exactly that flag set — no missing flags, no stale ones.
+
+Usage: tools/yoso_docs_check.py [repo_root]   (exit 0 clean, 1 otherwise)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CLI_KEY_RE = re.compile(r'key == "([a-z][a-z0-9-]*)"')
+HEADER_FLAG_RE = re.compile(r"^//\s+--([a-z][a-z0-9-]*)\b")
+FLAG_TOKEN_RE = re.compile(r"--([a-z][a-z0-9-]*)")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    skipped = {"build", ".git", "third_party"}
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in skipped or part.startswith("build")
+                   for part in path.relative_to(root).parts):
+            files.append(path)
+    return files
+
+
+def check_links(root: Path) -> list[str]:
+    errors = []
+    for md in markdown_files(root):
+        for line_no, line in enumerate(md.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (md.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(root)}:{line_no}: dead link "
+                        f"'{target}'")
+    return errors
+
+
+def implemented_flags(cli: Path) -> set[str]:
+    return set(CLI_KEY_RE.findall(cli.read_text()))
+
+
+def header_comment_flags(cli: Path) -> set[str]:
+    flags = set()
+    for line in cli.read_text().splitlines():
+        if not line.startswith("//"):
+            break  # the header comment ends at the first non-comment line
+        match = HEADER_FLAG_RE.match(line)
+        if match:
+            flags.add(match.group(1))
+    return flags
+
+
+def readme_region_flags(readme: Path) -> set[str] | None:
+    text = readme.read_text()
+    begin = text.find("<!-- cli-flags:begin -->")
+    end = text.find("<!-- cli-flags:end -->")
+    if begin < 0 or end < 0 or end < begin:
+        return None
+    return set(FLAG_TOKEN_RE.findall(text[begin:end]))
+
+
+def check_flags(root: Path) -> list[str]:
+    cli = root / "examples" / "yoso_cli.cpp"
+    readme = root / "README.md"
+    implemented = implemented_flags(cli)
+    if not implemented:
+        return [f"{cli.relative_to(root)}: found no parsed flags — "
+                "has parse_args been restructured?"]
+    errors = []
+
+    in_header = header_comment_flags(cli)
+    for flag in sorted(implemented - in_header):
+        errors.append(f"{cli.relative_to(root)}: --{flag} is parsed but "
+                      "missing from the header comment flag list")
+    for flag in sorted(in_header - implemented):
+        errors.append(f"{cli.relative_to(root)}: header comment documents "
+                      f"--{flag}, which parse_args does not accept")
+
+    in_readme = readme_region_flags(readme)
+    if in_readme is None:
+        errors.append("README.md: missing <!-- cli-flags:begin/end --> "
+                      "markers around the yoso_cli flag reference")
+    else:
+        for flag in sorted(implemented - in_readme):
+            errors.append(f"README.md: flag reference is missing --{flag}")
+        for flag in sorted(in_readme - implemented):
+            errors.append(f"README.md: flag reference lists --{flag}, "
+                          "which yoso_cli does not accept")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    errors = check_links(root) + check_flags(root)
+    for error in errors:
+        print(f"yoso-docs-check: {error}")
+    print(f"yoso-docs-check: {'FAIL' if errors else 'OK'} "
+          f"({len(markdown_files(root))} markdown files checked)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
