@@ -11,7 +11,7 @@
 //   --iterations N                                      [2000]
 //   --samples    N   (GP training samples, Step 1)      [500]
 //   --top-n      N   (finalists for Step-3 rerank)      [10]
-//   --threads    N   (evaluation workers, 0 = all HW)   [1]
+//   --threads    N   (evaluation threads, 0 = all HW)   [1]
 //   --batch      N   (candidates evaluated per round)   [8]
 //   --seed       N                                      [7]
 //   --t-lat      X   latency threshold, ms              [1.2]
@@ -43,8 +43,9 @@
 #include "obs/metrics.h"
 #include "obs/timebase.h"
 #include "obs/trace.h"
+#include "util/contract.h"
+#include "util/exec_context.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace {
 
@@ -98,10 +99,7 @@ CliOptions parse_args(int argc, char** argv) {
       else if (key == "samples") opt.samples = std::stoul(value);
       else if (key == "top-n") opt.top_n = std::stoul(value);
       else if (key == "threads") opt.threads = std::stoul(value);
-      else if (key == "batch") {
-        opt.batch = std::stoul(value);
-        if (opt.batch == 0) usage_error("--batch must be >= 1");
-      }
+      else if (key == "batch") opt.batch = std::stoul(value);
       else if (key == "seed") opt.seed = std::stoull(value);
       else if (key == "t-lat") opt.t_lat = std::stod(value);
       else if (key == "t-eer") opt.t_eer = std::stod(value);
@@ -138,31 +136,41 @@ int main(int argc, char** argv) {
   if (observe) obs::set_enabled(true);
   const Stopwatch wall;  // denominator of the per-phase cost table
 
+  SearchOptions options;
+  options.iterations = cli.iterations;
+  options.top_n = cli.top_n;
+  options.reward = pick_reward(cli);
+  options.seed = cli.seed;
+  options.batch_size = cli.batch;
+  options.observe = observe;
+  // Reject unusable option combinations before paying for Step 1: the
+  // contracts live in SearchOptions::validate(), shared with every driver.
+  try {
+    options.validate();
+  } catch (const ContractViolation& violation) {
+    usage_error(violation.what());
+  }
+
   DesignSpace space;
   const NetworkSkeleton skeleton = default_skeleton();
   SystolicSimulator simulator({}, SimFidelity::kCycleLevel);
 
-  const std::size_t threads = ThreadPool::resolve_threads(cli.threads);
+  // One parallelism knob: a single ExecContext shared by both evaluators
+  // (and injected again via run(), which is a no-op re-injection here).
+  const ExecContextPtr exec = ExecContext::create(cli.threads);
   std::cout << "[1/3] building the fast evaluator (" << cli.samples
-            << " simulator samples, " << threads << " thread(s))...\n";
+            << " simulator samples, " << exec->threads() << " thread(s))...\n";
   // The evaluator and result objects outlive the phases, so the top-level
   // phase spans use the manual begin/end API rather than a scoped block.
   obs::begin_span("phase.build_evaluator");
   FastEvaluator fast(space, skeleton, simulator,
                      {.predictor_samples = cli.samples,
                       .seed = cli.seed,
-                      .threads = threads});
-  AccurateEvaluator accurate(skeleton);
+                      .exec = exec});
+  AccurateEvaluator accurate(skeleton, SystolicSimulator({},
+                                                         SimFidelity::kCycleLevel),
+                             exec);
   obs::end_span("phase.build_evaluator");
-
-  SearchOptions options;
-  options.iterations = cli.iterations;
-  options.top_n = cli.top_n;
-  options.reward = pick_reward(cli);
-  options.seed = cli.seed;
-  options.threads = threads;
-  options.batch_size = cli.batch;
-  options.observe = observe;
 
   std::cout << "[2/3] running " << cli.searcher << " search ("
             << cli.iterations << " iterations, "
@@ -170,13 +178,13 @@ int main(int argc, char** argv) {
   SearchResult result;
   obs::begin_span("phase.search");
   if (cli.searcher == "rl") {
-    result = YosoSearch(space, options).run(fast, &accurate);
+    result = YosoSearch(space, options).run(fast, &accurate, exec);
   } else if (cli.searcher == "random") {
-    result = RandomSearchDriver(space, options).run(fast, &accurate);
+    result = RandomSearchDriver(space, options).run(fast, &accurate, exec);
   } else if (cli.searcher == "evolution") {
-    result = EvolutionarySearch(space, options).run(fast, &accurate);
+    result = EvolutionarySearch(space, options).run(fast, &accurate, exec);
   } else if (cli.searcher == "bayes") {
-    result = BayesOptSearch(space, options).run(fast, &accurate);
+    result = BayesOptSearch(space, options).run(fast, &accurate, exec);
   } else {
     usage_error("unknown searcher '" + cli.searcher + "'");
   }

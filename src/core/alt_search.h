@@ -16,8 +16,8 @@
 // RandomSearchDriver and results are directly comparable.  Their proposal
 // loops are inherently sequential (each child depends on all previous
 // rewards), so they submit one candidate at a time; options.batch_size is
-// ignored, while options.threads still parallelizes Step-1 sampling and
-// the Step-3 rerank.
+// ignored, while an ExecContext passed to run() still parallelizes Step-1
+// sampling and the Step-3 rerank.
 
 #include <deque>
 

@@ -12,6 +12,12 @@ namespace {
 // case); further misses are still computed, just not retained.
 constexpr std::size_t kMaxCacheEntries = 1u << 20;
 
+// Misses stream through the worker/coordinator pipeline in chunks of this
+// fixed size.  Fixed — never derived from the thread count or batch size —
+// so the work decomposition (and therefore everything about the results)
+// is identical at any parallelism.
+constexpr std::size_t kPipelineChunk = 32;
+
 }  // namespace
 
 std::vector<EvalResult> Evaluator::evaluate_batch(
@@ -28,33 +34,28 @@ FastEvaluator::FastEvaluator(const DesignSpace& space,
                              FastEvaluatorOptions options)
     : accuracy_(skeleton),
       predictor_(skeleton),
-      threads_(ThreadPool::resolve_threads(options.threads)) {
+      exec_(options.exec != nullptr ? std::move(options.exec)
+                                    : ExecContext::serial()) {
   Rng rng(options.seed);
   const auto samples =
       collect_samples(options.predictor_samples, simulator,
-                      space.config_space(), skeleton, rng, options.threads);
+                      space.config_space(), skeleton, rng, &pool());
   predictor_.fit(samples);
 }
 
 FastEvaluator::FastEvaluator(const NetworkSkeleton& skeleton,
                              const std::vector<PerfSample>& samples)
-    : accuracy_(skeleton), predictor_(skeleton) {
+    : accuracy_(skeleton),
+      predictor_(skeleton),
+      exec_(ExecContext::serial()) {
   predictor_.fit(samples);
 }
 
-void FastEvaluator::set_parallelism(std::size_t threads) {
-  threads = ThreadPool::resolve_threads(threads);
-  if (threads == threads_) return;
-  threads_ = threads;
-  pool_.reset();  // resized lazily on the next batch
+void FastEvaluator::set_exec_context(ExecContextPtr exec) {
+  exec_ = exec != nullptr ? std::move(exec) : ExecContext::serial();
 }
 
-ThreadPool& FastEvaluator::pool() {
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
-  return *pool_;
-}
-
-EvalResult FastEvaluator::compute(const CandidateDesign& candidate) const {
+EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
   EvalResult r;
   r.accuracy = accuracy_.hypernet_accuracy(candidate.genotype);
   r.latency_ms = std::max(
@@ -66,97 +67,132 @@ EvalResult FastEvaluator::compute(const CandidateDesign& candidate) const {
   return r;
 }
 
-EvalResult FastEvaluator::evaluate(const CandidateDesign& candidate) {
-  return compute(candidate);
-}
-
 std::vector<EvalResult> FastEvaluator::evaluate_batch(
     std::span<const CandidateDesign> batch) {
   // The calling thread *is* the coordinator; the guard makes that visible
-  // to -Wthread-safety so cache_ access below is proven legal — and stays
-  // illegal inside the parallel_for lambda, which holds no capabilities.
+  // to -Wthread-safety so the cache_ access below is proven legal — and
+  // stays illegal inside worker lambdas, which hold no capabilities.
   ThreadRoleGuard coordinator(coordinator_);
   YOSO_TRACE_SPAN("eval.fast_batch");
 
-  std::vector<EvalResult> results(batch.size());
-  std::vector<std::string> keys(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    keys[i] = candidate_key(batch[i]);
+  const std::size_t n = batch.size();
+  std::vector<EvalResult> results(n);
+  if (n == 0) return results;
 
-  // Misses: first occurrence of every key not already cached.  Only these
-  // hit the GPs; duplicates within the batch are computed once.
+  // Stage 0 (parallel, read-only): candidate keys + memo probes.  Workers
+  // consult `snap`, a const view of the cache bound here while the
+  // coordinator role is held: probes strictly precede this batch's inserts
+  // and unordered_map nodes are pointer-stable, so concurrent find() is
+  // race-free — while the coordinator-only *write* discipline stays
+  // machine-checked (naming cache_ in a worker lambda still fails
+  // -Wthread-safety; see the tsa.negative fixture).
+  std::vector<std::string> keys(n);
+  std::vector<const EvalResult*> hit(n, nullptr);
+  {
+    YOSO_TRACE_SPAN("eval.probe");
+    const auto& snap = cache_;
+    pool().parallel_for(0, n, [&](std::size_t i) {
+      keys[i] = candidate_key(batch[i]);
+      const auto it = snap.find(keys[i]);
+      if (it != snap.end()) hit[i] = &it->second;
+    });
+  }
+
+  // Misses: first occurrence of every key not already cached, in batch
+  // order.  Only these hit the pipeline; duplicates are computed once.
   std::vector<std::size_t> miss;
   std::unordered_map<std::string_view, std::size_t> miss_slot;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (cache_.contains(keys[i])) continue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hit[i] != nullptr) continue;
     if (miss_slot.emplace(keys[i], miss.size()).second) miss.push_back(i);
   }
 
-  // Phase 1 (parallel, read-only): the HyperNet accuracy proxy and the
-  // co-design feature row for every miss, each worker writing only its own
-  // slots.  Phase 2 (coordinator): the GP latency/energy means for all
-  // misses via one batched K* product — the batch call may fan its rows
-  // out across the same pool because the phases are sequential, never
-  // nested.  Per-element results are bit-identical to compute().
+  // Stages 1+2 (pipelined, double-buffered): pool workers compute the
+  // HyperNet accuracy proxy + GP feature row for miss chunk k+1 while the
+  // coordinator runs the fused latency/energy GP predict for chunk k (its
+  // row fan-out rides the same pool, queued behind the feature job, so
+  // idle workers help with whichever stage has indices left).  Per-element
+  // results are bit-identical to evaluate(): each candidate's chain is
+  // self-contained and the chunking is fixed.
   std::vector<EvalResult> computed(miss.size());
   if (!miss.empty()) {
-    std::vector<std::vector<double>> feats(miss.size());
-    {
-      YOSO_TRACE_SPAN("eval.accuracy_features");
-      pool().parallel_for(0, miss.size(), [&](std::size_t j) {
-        const CandidateDesign& cand = batch[miss[j]];
-        computed[j].accuracy = accuracy_.hypernet_accuracy(cand.genotype);
-        feats[j] = codesign_features(cand.genotype, cand.config,
-                                     predictor_.skeleton());
+    YOSO_TRACE_SPAN("eval.pipeline");
+    const std::size_t m = miss.size();
+    constexpr std::size_t dim = kCodesignFeatureDim;
+    const std::size_t rows = std::min(kPipelineChunk, m);
+    std::vector<double> feats[2] = {std::vector<double>(rows * dim),
+                                    std::vector<double>(rows * dim)};
+    std::vector<double> acc[2] = {std::vector<double>(rows),
+                                  std::vector<double>(rows)};
+    std::vector<double> lat(rows);
+    std::vector<double> en(rows);
+
+    const auto stage_features = [&](std::size_t lo, std::size_t cnt,
+                                    std::size_t buf) {
+      // The accuracy proxy and the feature row share one ArchFeatures per
+      // candidate (both models are built on the same skeleton), halving
+      // the layer-extraction work the old split-phase path paid.
+      return pool().submit(0, cnt, [&, lo, buf](std::size_t j) {
+        const CandidateDesign& cand = batch[miss[lo + j]];
+        const ArchFeatures af =
+            ArchFeatures::compute(cand.genotype, predictor_.skeleton());
+        acc[buf][j] = accuracy_.hypernet_accuracy(cand.genotype, af);
+        codesign_features_into(af, cand.config, feats[buf].data() + j * dim);
       });
+    };
+
+    std::size_t lo = 0;
+    std::size_t cnt = std::min(kPipelineChunk, m);
+    std::size_t cur = 0;
+    std::size_t chunks = 0;
+    ThreadPool::JobTicket inflight = stage_features(lo, cnt, cur);
+    while (cnt > 0) {
+      inflight.wait();  // chunk k's accuracy + features are ready
+      const std::size_t next_lo = lo + cnt;
+      const std::size_t next_cnt = std::min(kPipelineChunk, m - next_lo);
+      if (next_cnt > 0)
+        inflight = stage_features(next_lo, next_cnt, 1 - cur);
+      predictor_.predict_latency_energy_batch(feats[cur].data(), cnt,
+                                              &pool(), lat.data(), en.data());
+      for (std::size_t j = 0; j < cnt; ++j) {
+        computed[lo + j].accuracy = acc[cur][j];
+        computed[lo + j].latency_ms = std::max(1e-3, lat[j]);
+        computed[lo + j].energy_mj = std::max(1e-3, en[j]);
+      }
+      ++chunks;
+      lo = next_lo;
+      cnt = next_cnt;
+      cur = 1 - cur;
     }
-    YOSO_TRACE_SPAN("eval.gp_predict");
-    Matrix fx(miss.size(), feats.front().size());
-    for (std::size_t j = 0; j < miss.size(); ++j)
-      for (std::size_t c = 0; c < feats[j].size(); ++c)
-        fx(j, c) = feats[j][c];
-    const std::vector<double> lat =
-        predictor_.predict_latency_ms_batch(fx, &pool());
-    const std::vector<double> en =
-        predictor_.predict_energy_mj_batch(fx, &pool());
-    for (std::size_t j = 0; j < miss.size(); ++j) {
-      computed[j].latency_ms = std::max(1e-3, lat[j]);
-      computed[j].energy_mj = std::max(1e-3, en[j]);
-    }
+    obs::counter_add("eval.pipeline_chunks", chunks);
   }
   obs::counter_add("eval.cache_misses", miss.size());
-  obs::counter_add("eval.cache_hits", batch.size() - miss.size());
+  obs::counter_add("eval.cache_hits", n - miss.size());
 
-  // Cache insertion happens on the calling thread, in batch order, so the
-  // cache contents are independent of the thread count.
+  // The insert log: merged on the coordinator in proposal (miss-list)
+  // order, so the cache contents are independent of the thread count.
   for (std::size_t j = 0; j < miss.size(); ++j)
     if (cache_.size() < kMaxCacheEntries)
       cache_.emplace(keys[miss[j]], computed[j]);
 
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto it = cache_.find(keys[i]);
+  // Hits resolve through the probe snapshot's stable pointers; misses (and
+  // their in-batch duplicates) through the computed slots.
+  for (std::size_t i = 0; i < n; ++i)
     results[i] =
-        it != cache_.end() ? it->second : computed[miss_slot.at(keys[i])];
-  }
+        hit[i] != nullptr ? *hit[i] : computed[miss_slot.at(keys[i])];
   return results;
 }
 
 AccurateEvaluator::AccurateEvaluator(NetworkSkeleton skeleton,
-                                     SystolicSimulator simulator)
+                                     SystolicSimulator simulator,
+                                     ExecContextPtr exec)
     : skeleton_(std::move(skeleton)),
       accuracy_(skeleton_),
-      simulator_(simulator) {}
+      simulator_(simulator),
+      exec_(exec != nullptr ? std::move(exec) : ExecContext::serial()) {}
 
-void AccurateEvaluator::set_parallelism(std::size_t threads) {
-  threads = ThreadPool::resolve_threads(threads);
-  if (threads == threads_) return;
-  threads_ = threads;
-  pool_.reset();
-}
-
-ThreadPool& AccurateEvaluator::pool() {
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
-  return *pool_;
+void AccurateEvaluator::set_exec_context(ExecContextPtr exec) {
+  exec_ = exec != nullptr ? std::move(exec) : ExecContext::serial();
 }
 
 EvalResult AccurateEvaluator::evaluate(const CandidateDesign& candidate) {

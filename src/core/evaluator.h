@@ -14,17 +14,27 @@
 // Both share one interface so the search driver is evaluator-agnostic, and
 // the HyperNet-backed evaluator in examples/ plugs in the same way.
 //
+// Parallelism comes from one injected ExecContext (util/exec_context.h):
+// evaluators never own a pool, so a Fast+Accurate pair sharing a context
+// shares its workers instead of oversubscribing the machine.  A null /
+// omitted context means serial.
+//
 // Batched evaluation: evaluate_batch() scores a span of candidates at once.
 // Both bundled evaluators are pure functions of the candidate after
 // construction (the GPs, the accuracy surrogate and the simulator are all
-// read-only and deterministic), so their overrides fan the batch out across
-// a thread pool; FastEvaluator additionally memoizes results keyed by the
-// encoded candidate, which pays off when the controller revisits designs.
-// Results are bit-identical to per-candidate serial evaluation at any
-// thread count.
+// read-only and deterministic).  FastEvaluator runs a two-stage pipeline:
+// pool workers compute the accuracy proxy + GP feature row for miss chunk
+// k+1 while the coordinator runs the fused batched GP predict for chunk k
+// (double-buffered, no barrier between the stages), and memoizes results
+// keyed by the encoded candidate — which pays off when the controller
+// revisits designs.  Results are bit-identical to per-candidate serial
+// evaluation at any thread count: the chunking is fixed, every per-row
+// computation chain is self-contained, and all stateful bookkeeping stays
+// on the coordinator.
 //
-// The memo cache is *coordinator-only* state: it is read and filled on the
-// calling thread, in batch order, never from the pool workers — that is
+// The memo cache is *coordinator-only writable* state: workers probe a
+// read-only snapshot of it (probes strictly precede this batch's inserts),
+// and the coordinator merges the insert log in proposal order — that is
 // what keeps its contents (and hence eviction behaviour) independent of the
 // thread count.  The discipline is machine-proven, not prose: cache_ is
 // YOSO_GUARDED_BY the coordinator_ thread role, so under clang
@@ -42,6 +52,7 @@
 #include "core/reward.h"
 #include "predictor/perf_predictor.h"
 #include "surrogate/accuracy_model.h"
+#include "util/exec_context.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -59,25 +70,32 @@ class Evaluator {
   virtual std::vector<EvalResult> evaluate_batch(
       std::span<const CandidateDesign> batch);
 
-  /// Number of worker threads batch evaluation may use (1 = serial,
-  /// 0 = all hardware threads).  A no-op for evaluators without a parallel
-  /// batch path.
-  virtual void set_parallelism(std::size_t /*threads*/) {}
+  /// Injects the execution context batch evaluation runs on (null = serial).
+  /// A no-op for evaluators without a parallel batch path.
+  virtual void set_exec_context(ExecContextPtr /*exec*/) {}
+
+  /// Deprecated shim (one release): forwards to set_exec_context with a
+  /// fresh context of `threads` total threads (0 = all hardware threads).
+  /// Prefer constructing one ExecContext and sharing it between evaluators.
+  void set_parallelism(std::size_t threads) {
+    set_exec_context(ExecContext::create(threads));
+  }
 };
 
 /// Step-1 construction knobs for the fast evaluator.
 struct FastEvaluatorOptions {
   std::size_t predictor_samples = 600;  ///< simulator samples for GP training
   std::uint64_t seed = 99;
-  std::size_t threads = 1;  ///< Step-1 sample collection + batch eval workers
+  /// Step-1 sampling + batch-eval workers; null means serial.
+  ExecContextPtr exec = nullptr;
 };
 
 class FastEvaluator : public Evaluator {
  public:
   /// Builds the evaluator: collects `predictor_samples` simulator samples
   /// and fits the energy + latency GPs (paper Step 1).  Sample simulation
-  /// fans out across `options.threads` workers; the candidate draws stay on
-  /// one RNG stream so the collected set is thread-count independent.
+  /// fans out across `options.exec`; the candidate draws stay on one RNG
+  /// stream so the collected set is thread-count independent.
   FastEvaluator(const DesignSpace& space, const NetworkSkeleton& skeleton,
                 const SystolicSimulator& simulator,
                 FastEvaluatorOptions options = {});
@@ -89,14 +107,15 @@ class FastEvaluator : public Evaluator {
   /// Single-candidate evaluation: always recomputes (the serial baseline).
   EvalResult evaluate(const CandidateDesign& candidate) override;
 
-  /// Parallel batched evaluation with memoization: distinct uncached
-  /// candidates are scored across the pool, revisited ones are served from
-  /// the cache.  Identical results to evaluate() per element.
+  /// Pipelined batched evaluation with memoization: distinct uncached
+  /// candidates stream through the two-stage worker/coordinator pipeline,
+  /// revisited ones are served from the cache.  Identical results to
+  /// evaluate() per element.
   std::vector<EvalResult> evaluate_batch(
       std::span<const CandidateDesign> batch) override;
 
-  void set_parallelism(std::size_t threads) override;
-  std::size_t parallelism() const { return threads_; }
+  void set_exec_context(ExecContextPtr exec) override;
+  std::size_t parallelism() const { return exec_->threads(); }
 
   std::size_t cache_size() const {
     ThreadRoleGuard coordinator(coordinator_);
@@ -118,15 +137,14 @@ class FastEvaluator : public Evaluator {
 #endif
 
  private:
-  EvalResult compute(const CandidateDesign& candidate) const;
-  ThreadPool& pool();
+  ThreadPool& pool() { return exec_->pool(); }
 
   AccuracyModel accuracy_;
   PerformancePredictor predictor_;
-  std::size_t threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  ExecContextPtr exec_;
   /// Serial context of whichever thread drives the search; cache_ may only
-  /// be touched under a ThreadRoleGuard on it (never from pool workers).
+  /// be written under a ThreadRoleGuard on it (never from pool workers —
+  /// they see at most a const snapshot).
   mutable ThreadRole coordinator_;
   std::unordered_map<std::string, EvalResult> cache_
       YOSO_GUARDED_BY(coordinator_);
@@ -136,7 +154,8 @@ class AccurateEvaluator : public Evaluator {
  public:
   AccurateEvaluator(NetworkSkeleton skeleton,
                     SystolicSimulator simulator = SystolicSimulator(
-                        {}, SimFidelity::kCycleLevel));
+                        {}, SimFidelity::kCycleLevel),
+                    ExecContextPtr exec = nullptr);
 
   EvalResult evaluate(const CandidateDesign& candidate) override;
 
@@ -146,18 +165,17 @@ class AccurateEvaluator : public Evaluator {
   std::vector<EvalResult> evaluate_batch(
       std::span<const CandidateDesign> batch) override;
 
-  void set_parallelism(std::size_t threads) override;
+  void set_exec_context(ExecContextPtr exec) override;
 
   const SystolicSimulator& simulator() const { return simulator_; }
 
  private:
-  ThreadPool& pool();
+  ThreadPool& pool() { return exec_->pool(); }
 
   NetworkSkeleton skeleton_;
   AccuracyModel accuracy_;
   SystolicSimulator simulator_;
-  std::size_t threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  ExecContextPtr exec_;
 };
 
 }  // namespace yoso

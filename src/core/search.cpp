@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "util/contract.h"
 
 namespace yoso {
 
@@ -49,10 +50,22 @@ double SearchLoop::submit(const CandidateDesign& candidate) {
   return submit(std::span<const CandidateDesign>(&candidate, 1)).front();
 }
 
-SearchResult SearchDriver::run(Evaluator& fast, Evaluator* accurate) {
+void SearchOptions::validate() const {
+  YOSO_REQUIRE(iterations >= 1, "SearchOptions: iterations must be >= 1");
+  YOSO_REQUIRE(batch_size >= 1, "SearchOptions: batch_size must be >= 1");
+  YOSO_REQUIRE(top_n >= 1,
+               "SearchOptions: top_n must be >= 1 (the finalist pool feeds "
+               "Step 3)");
+}
+
+SearchResult SearchDriver::run(Evaluator& fast, Evaluator* accurate,
+                               ExecContextPtr exec) {
+  options_.validate();
   if (options_.observe) obs::set_enabled(true);
-  fast.set_parallelism(options_.threads);
-  if (accurate != nullptr) accurate->set_parallelism(options_.threads);
+  if (exec != nullptr) {
+    fast.set_exec_context(exec);
+    if (accurate != nullptr) accurate->set_exec_context(exec);
+  }
   SearchResult result;
   SearchLoop loop(options_, fast, result);
   Rng rng(options_.seed ^ rng_salt());

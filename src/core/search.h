@@ -46,18 +46,24 @@ struct SearchTracePoint {
 struct SearchOptions {
   std::size_t iterations = 3000;
   std::size_t top_n = 10;        ///< finalists for accurate reranking
-  std::size_t trace_every = 10;  ///< record every k-th iteration
+  std::size_t trace_every = 10;  ///< record every k-th iteration (0 = never)
   RewardParams reward;           ///< Eq. 2 coefficients
   ControllerOptions controller;
   ReinforceOptions reinforce;
   std::uint64_t seed = 7;
   std::size_t batch_size = 1;  ///< candidates proposed & evaluated per round
-  std::size_t threads = 1;     ///< evaluation workers (1 serial, 0 = all HW)
   /// Turns the observability layer on for this run: run() flips
   /// obs::set_enabled(true) before Step 2, so metrics and trace spans record
   /// (docs/OBSERVABILITY.md).  Off by default — instrumentation then costs
   /// one relaxed atomic load per site.  Never affects search output.
   bool observe = false;
+
+  /// The one place the option contracts live: throws ContractViolation on
+  /// an unusable combination (zero iterations, zero batch_size, zero
+  /// top_n).  SearchDriver::run() calls this before doing anything, so
+  /// every driver — and yoso_cli — rejects bad options identically.
+  /// (Parallelism is no longer an option: pass an ExecContext to run().)
+  void validate() const;
 };
 
 /// A reranked finalist.
@@ -148,8 +154,9 @@ class SearchLoop {
 };
 
 /// Abstract base every search strategy implements.  run() is the template
-/// method: it wires the evaluators' parallelism, drives the strategy's
-/// proposal loop against a SearchLoop, then reranks the finalists.
+/// method: it validates the options, injects the execution context, drives
+/// the strategy's proposal loop against a SearchLoop, then reranks the
+/// finalists.
 class SearchDriver {
  public:
   SearchDriver(const DesignSpace& space, SearchOptions options)
@@ -157,8 +164,12 @@ class SearchDriver {
   virtual ~SearchDriver() = default;
 
   /// Runs Step 2 against `fast`, then Step 3 against `accurate`.
-  /// When `accurate` is null, finalists keep their fast scores.
-  SearchResult run(Evaluator& fast, Evaluator* accurate);
+  /// When `accurate` is null, finalists keep their fast scores.  A non-null
+  /// `exec` is injected into both evaluators so they share its thread pool
+  /// (util/exec_context.h); null leaves each evaluator's current context
+  /// untouched.  Thread count never affects the result.
+  SearchResult run(Evaluator& fast, Evaluator* accurate,
+                   ExecContextPtr exec = nullptr);
 
   const SearchOptions& options() const { return options_; }
 
@@ -176,8 +187,9 @@ class SearchDriver {
 };
 
 /// The paper's Step-2 driver: LSTM controller + REINFORCE.  Proposes
-/// options.batch_size episodes per round, evaluates the batch (in parallel
-/// when options.threads > 1), then applies feedback in proposal order.
+/// options.batch_size episodes per round, evaluates the batch (pipelined
+/// across the injected ExecContext), then applies feedback in proposal
+/// order.
 class YosoSearch : public SearchDriver {
  public:
   YosoSearch(const DesignSpace& space, SearchOptions options)

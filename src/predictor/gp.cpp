@@ -167,6 +167,63 @@ std::vector<double> GpRegressor::predict_batch(const Matrix& queries,
   return mu;
 }
 
+void GpRegressor::predict_means_pair(const GpRegressor& a,
+                                     const GpRegressor& b, const double* x,
+                                     std::size_t nq, double* mu_a,
+                                     double* mu_b, ThreadPool* pool) {
+  YOSO_REQUIRE(!a.alpha_.empty() && !b.alpha_.empty(),
+               "GpRegressor::predict_means_pair: not fitted");
+  YOSO_REQUIRE(a.train_x_.rows() == b.train_x_.rows() &&
+                   a.train_x_.cols() == b.train_x_.cols(),
+               "GpRegressor::predict_means_pair: models were fitted on "
+               "different training sets (", a.train_x_.rows(), "x",
+               a.train_x_.cols(), " vs ", b.train_x_.rows(), "x",
+               b.train_x_.cols(), ")");
+  if (nq == 0) return;
+  obs::counter_add("gp.predict_rows", 2 * nq);
+  const std::size_t n = a.train_x_.rows();
+  const std::size_t dim = a.train_x_.cols();
+  const double scale_a =
+      -1.0 / (2.0 * a.hp_.lengthscale * a.hp_.lengthscale);
+  const double scale_b =
+      -1.0 / (2.0 * b.hp_.lengthscale * b.hp_.lengthscale);
+  constexpr std::size_t kChunk = 256;
+  const std::size_t buf_rows = std::min(kChunk, nq);
+  std::vector<double> xs(buf_rows * dim);
+  std::vector<double> d2(buf_rows * n);   // shared K* distance panel
+  std::vector<double> ebuf(buf_rows * n); // per-row exp scratch
+  for (std::size_t lo = 0; lo < nq; lo += kChunk) {
+    const std::size_t cnt = std::min(kChunk, nq - lo);
+    // Standardize once with model a's scaler; identical training inputs
+    // imply bitwise-identical scaler state, so this matches what model b's
+    // own predict path would compute.
+    for (std::size_t r = 0; r < cnt; ++r) {
+      const std::vector<double> row = a.scaler_.transform_row(
+          std::span<const double>(x + (lo + r) * dim, dim));
+      std::copy(row.begin(), row.end(), xs.begin() + r * dim);
+    }
+    kernels::pairwise_sq_dists(xs.data(), cnt, a.packed_train_, d2.data(),
+                               pool);
+    const auto row_work = [&](std::size_t r) {
+      const double* drow = d2.data() + r * n;
+      double* erow = ebuf.data() + r * n;
+      // The distance row is read-only here (exp output goes to the scratch
+      // row), so the second model reuses it untouched.
+      mu_a[lo + r] = a.y_mean_ + kernels::exp_scale_dot(
+                                     drow, erow, a.alpha_.data(), n, scale_a,
+                                     a.hp_.signal_variance);
+      mu_b[lo + r] = b.y_mean_ + kernels::exp_scale_dot(
+                                     drow, erow, b.alpha_.data(), n, scale_b,
+                                     b.hp_.signal_variance);
+    };
+    if (pool != nullptr && pool->workers() > 0 && cnt > 1) {
+      pool->parallel_for(0, cnt, row_work);
+    } else {
+      for (std::size_t r = 0; r < cnt; ++r) row_work(r);
+    }
+  }
+}
+
 std::vector<std::pair<double, double>> GpRegressor::predict_batch_with_variance(
     const Matrix& queries, ThreadPool* pool) const {
   YOSO_REQUIRE(!alpha_.empty(),

@@ -52,6 +52,17 @@ class GpRegressor : public Regressor {
   std::vector<std::pair<double, double>> predict_batch_with_variance(
       const Matrix& queries, ThreadPool* pool = nullptr) const;
 
+  /// Fused means for two models fitted on the *same* training inputs (the
+  /// performance predictor's energy/latency pair): the query rows are
+  /// standardized once and one K* squared-distance panel feeds both models'
+  /// kernel chains, so the shared O(n·d) work is paid once instead of
+  /// twice.  Each output is bit-identical to the corresponding
+  /// predict_batch() call at any thread count.  Only the training-set shape
+  /// is checked; fitting the models on different inputs is a caller bug.
+  static void predict_means_pair(const GpRegressor& a, const GpRegressor& b,
+                                 const double* x, std::size_t nq,
+                                 double* mu_a, double* mu_b, ThreadPool* pool);
+
   /// Predictive mean and variance for one input.
   std::pair<double, double> predict_with_variance(
       std::span<const double> x) const;

@@ -9,36 +9,39 @@
 
 namespace yoso {
 
+void codesign_features_into(const ArchFeatures& af,
+                            const AcceleratorConfig& config, double* out) {
+  // Architecture.
+  *out++ = af.log10_macs;
+  *out++ = af.log10_params;
+  *out++ = af.conv_frac;
+  *out++ = af.dw_frac;
+  *out++ = af.pool_frac;
+  *out++ = af.k5_frac;
+  *out++ = af.depth_normal;
+  *out++ = af.depth_reduction;
+  *out++ = af.loose_normal;
+  *out++ = af.loose_reduction;
+  // Hardware.
+  *out++ = std::log2(static_cast<double>(config.pe_rows));
+  *out++ = std::log2(static_cast<double>(config.pe_cols));
+  *out++ = std::log2(static_cast<double>(config.num_pes()));
+  *out++ = std::log2(static_cast<double>(config.g_buf_kb));
+  *out++ = std::log2(static_cast<double>(config.r_buf_bytes));
+  for (int d = 0; d < kNumDataflows; ++d)
+    *out++ = config.dataflow == static_cast<Dataflow>(d) ? 1.0 : 0.0;
+  // Interactions: compute intensity and weight-to-buffer pressure.
+  *out++ = af.log10_macs - std::log10(static_cast<double>(config.num_pes()));
+  *out++ = af.log10_params -
+           std::log10(static_cast<double>(config.g_buf_kb) * 1024.0 / 2.0);
+}
+
 std::vector<double> codesign_features(const Genotype& g,
                                       const AcceleratorConfig& config,
                                       const NetworkSkeleton& skeleton) {
   const ArchFeatures af = ArchFeatures::compute(g, skeleton);
-  std::vector<double> f;
-  f.reserve(24);
-  // Architecture.
-  f.push_back(af.log10_macs);
-  f.push_back(af.log10_params);
-  f.push_back(af.conv_frac);
-  f.push_back(af.dw_frac);
-  f.push_back(af.pool_frac);
-  f.push_back(af.k5_frac);
-  f.push_back(af.depth_normal);
-  f.push_back(af.depth_reduction);
-  f.push_back(af.loose_normal);
-  f.push_back(af.loose_reduction);
-  // Hardware.
-  f.push_back(std::log2(static_cast<double>(config.pe_rows)));
-  f.push_back(std::log2(static_cast<double>(config.pe_cols)));
-  f.push_back(std::log2(static_cast<double>(config.num_pes())));
-  f.push_back(std::log2(static_cast<double>(config.g_buf_kb)));
-  f.push_back(std::log2(static_cast<double>(config.r_buf_bytes)));
-  for (int d = 0; d < kNumDataflows; ++d)
-    f.push_back(config.dataflow == static_cast<Dataflow>(d) ? 1.0 : 0.0);
-  // Interactions: compute intensity and weight-to-buffer pressure.
-  f.push_back(af.log10_macs -
-              std::log10(static_cast<double>(config.num_pes())));
-  f.push_back(af.log10_params -
-              std::log10(static_cast<double>(config.g_buf_kb) * 1024.0 / 2.0));
+  std::vector<double> f(kCodesignFeatureDim);
+  codesign_features_into(af, config, f.data());
   return f;
 }
 
@@ -46,7 +49,7 @@ std::vector<PerfSample> collect_samples(std::size_t count,
                                         const SystolicSimulator& simulator,
                                         const ConfigSpace& space,
                                         const NetworkSkeleton& skeleton,
-                                        Rng& rng, std::size_t threads) {
+                                        Rng& rng, ThreadPool* pool) {
   YOSO_TRACE_SPAN("step1.collect_samples");
   obs::counter_add("step1.samples", count);
   // Serial phase: all RNG draws, in the same per-sample order as the old
@@ -62,15 +65,18 @@ std::vector<PerfSample> collect_samples(std::size_t count,
     s.config = space.decode(actions);
   }
   // Parallel phase: simulation dominates collection cost and is read-only.
-  ThreadPool pool(ThreadPool::resolve_threads(threads) - 1);
-  pool.parallel_for(0, count, [&](std::size_t i) {
-    PerfSample& s = samples[i];
-    const SimulationResult r =
-        simulator.simulate_network(s.genotype, skeleton, s.config);
-    s.energy_mj = r.energy_mj;
-    s.latency_ms = r.latency_ms;
-    s.features = codesign_features(s.genotype, s.config, skeleton);
-  });
+  // The injected pool is shared with the rest of the framework
+  // (util/exec_context.h); null runs inline.
+  ThreadPool inline_pool(0);
+  (pool != nullptr ? *pool : inline_pool)
+      .parallel_for(0, count, [&](std::size_t i) {
+        PerfSample& s = samples[i];
+        const SimulationResult r =
+            simulator.simulate_network(s.genotype, skeleton, s.config);
+        s.energy_mj = r.energy_mj;
+        s.latency_ms = r.latency_ms;
+        s.features = codesign_features(s.genotype, s.config, skeleton);
+      });
   return samples;
 }
 
@@ -134,6 +140,21 @@ std::vector<double> PerformancePredictor::predict_latency_ms_batch(
   std::vector<double> out = latency_gp_.predict_batch(features, pool);
   for (double& v : out) v = std::exp(v);
   return out;
+}
+
+void PerformancePredictor::predict_latency_energy_batch(
+    const double* features, std::size_t rows, ThreadPool* pool,
+    double* latency_ms, double* energy_mj) const {
+  if (!fitted_) throw std::logic_error("PerformancePredictor: not fitted");
+  // Both GPs were fitted on the same feature matrix (fit() above), which is
+  // the precondition letting the pair call share one standardization and
+  // one K* distance panel.
+  GpRegressor::predict_means_pair(latency_gp_, energy_gp_, features, rows,
+                                  latency_ms, energy_mj, pool);
+  for (std::size_t r = 0; r < rows; ++r) {
+    latency_ms[r] = std::exp(latency_ms[r]);
+    energy_mj[r] = std::exp(energy_mj[r]);
+  }
 }
 
 }  // namespace yoso

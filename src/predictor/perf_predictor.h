@@ -14,11 +14,26 @@
 
 namespace yoso {
 
+struct ArchFeatures;  // surrogate/accuracy_model.h
+
 /// Feature vector for the regression models: architecture descriptors +
 /// hardware configuration descriptors + a couple of interaction terms.
 std::vector<double> codesign_features(const Genotype& g,
                                       const AcceleratorConfig& config,
                                       const NetworkSkeleton& skeleton);
+
+/// Width of a co-design feature row (10 arch + 5 hw + dataflow one-hot +
+/// 2 interaction terms).
+inline constexpr std::size_t kCodesignFeatureDim =
+    17 + static_cast<std::size_t>(kNumDataflows);
+
+/// Allocation-free variant for batched hot paths: writes the same row into
+/// `out` (>= kCodesignFeatureDim doubles) from pre-computed architecture
+/// descriptors, so callers that also need `af` for the accuracy proxy
+/// extract layers once per candidate instead of twice.  `af` must be
+/// ArchFeatures::compute(g, skeleton) for the genotype this row describes.
+void codesign_features_into(const ArchFeatures& af,
+                            const AcceleratorConfig& config, double* out);
 
 /// One simulated training sample.
 struct PerfSample {
@@ -31,13 +46,13 @@ struct PerfSample {
 
 /// Draws `count` uniform random (genotype, config) pairs and simulates them.
 /// The draws always consume `rng` on the calling thread in sample order;
-/// only the (read-only) simulation fans out across `threads` workers, so
-/// the returned set is identical at any thread count.
+/// only the (read-only) simulation fans out across `pool` (null = inline),
+/// so the returned set is identical at any thread count.
 std::vector<PerfSample> collect_samples(std::size_t count,
                                         const SystolicSimulator& simulator,
                                         const ConfigSpace& space,
                                         const NetworkSkeleton& skeleton,
-                                        Rng& rng, std::size_t threads = 1);
+                                        Rng& rng, ThreadPool* pool = nullptr);
 
 /// Splits samples into feature matrix + target vectors.
 struct SampleMatrix {
@@ -72,6 +87,17 @@ class PerformancePredictor {
   std::vector<double> predict_latency_ms_batch(const Matrix& features,
                                                ThreadPool* pool = nullptr)
       const;
+
+  /// Fused batch prediction of both targets over `rows` contiguous raw
+  /// feature rows (row-major, kCodesignFeatureDim wide): because both GPs
+  /// are fitted on the same inputs, standardization and the K* squared-
+  /// distance panel are computed once and shared, roughly halving the
+  /// per-candidate GP cost versus the two separate *_batch calls.  Outputs
+  /// are bit-identical to predict_latency_ms_batch / predict_energy_mj_batch
+  /// at any thread count.
+  void predict_latency_energy_batch(const double* features, std::size_t rows,
+                                    ThreadPool* pool, double* latency_ms,
+                                    double* energy_mj) const;
 
   bool fitted() const { return fitted_; }
   const NetworkSkeleton& skeleton() const { return skeleton_; }

@@ -57,7 +57,10 @@ AccuracyModel::AccuracyModel(NetworkSkeleton skeleton,
     : skeleton_(std::move(skeleton)), params_(params), seed_(seed) {}
 
 double AccuracyModel::clean_error(const Genotype& g) const {
-  const ArchFeatures f = ArchFeatures::compute(g, skeleton_);
+  return clean_error_from(ArchFeatures::compute(g, skeleton_));
+}
+
+double AccuracyModel::clean_error_from(const ArchFeatures& f) const {
   const AccuracyModelParams& p = params_;
 
   // Capacity: relative to the space's typical net (~1e8 MACs at the default
@@ -107,9 +110,14 @@ double AccuracyModel::test_error(const Genotype& g) const {
 }
 
 double AccuracyModel::hypernet_error(const Genotype& g) const {
+  return hypernet_error(g, ArchFeatures::compute(g, skeleton_));
+}
+
+double AccuracyModel::hypernet_error(const Genotype& g,
+                                     const ArchFeatures& f) const {
   // Shares the clean signal and the full-training residual (the HyperNet
   // ranks models by true quality) plus its own one-shot noise.
-  const double base = clean_error(g) +
+  const double base = clean_error_from(f) +
                       residual(g, 0x7E57ull, params_.noise_sigma);
   const double err = params_.hypernet_offset +
                      params_.hypernet_scale * base +
@@ -119,6 +127,11 @@ double AccuracyModel::hypernet_error(const Genotype& g) const {
 
 double AccuracyModel::hypernet_accuracy(const Genotype& g) const {
   return 1.0 - hypernet_error(g) / 100.0;
+}
+
+double AccuracyModel::hypernet_accuracy(const Genotype& g,
+                                        const ArchFeatures& f) const {
+  return 1.0 - hypernet_error(g, f) / 100.0;
 }
 
 }  // namespace yoso

@@ -89,11 +89,20 @@ class AccuracyModel {
   /// Correlated with test_error but noisier and offset, as in Fig 5(b).
   double hypernet_error(const Genotype& g) const;
 
+  /// Same score from pre-computed descriptors.  `f` must be
+  /// ArchFeatures::compute(g, skeleton()) — callers that already hold the
+  /// descriptors (the batched evaluator shares one ArchFeatures between the
+  /// accuracy proxy and the GP feature row) skip recomputing them here;
+  /// the returned value is bit-identical to hypernet_error(g).
+  double hypernet_error(const Genotype& g, const ArchFeatures& f) const;
+
   /// Convenience: validation accuracy in [0,1] from hypernet_error.
   double hypernet_accuracy(const Genotype& g) const;
+  double hypernet_accuracy(const Genotype& g, const ArchFeatures& f) const;
 
  private:
   double clean_error(const Genotype& g) const;
+  double clean_error_from(const ArchFeatures& f) const;
   double residual(const Genotype& g, std::uint64_t salt, double sigma) const;
 
   NetworkSkeleton skeleton_;

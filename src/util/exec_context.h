@@ -1,0 +1,64 @@
+#pragma once
+// ExecContext — the framework's single parallelism knob.
+//
+// One process-level answer to "how many threads may evaluation use, and on
+// which pool do they run?".  Construction resolves the user-facing thread
+// count (0 = all hardware threads) and owns the one ThreadPool every
+// consumer shares; injecting the same context into the fast and accurate
+// evaluators (and SearchDriver::run) means a Fast+Accurate pair cooperates
+// on one pool instead of each spinning up its own and oversubscribing the
+// machine, as the pre-ExecContext per-evaluator pools did.
+//
+//   ExecContextPtr exec = ExecContext::create(8);   // 8 threads total
+//   FastEvaluator fast(space, skeleton, sim, {.exec = exec});
+//   AccurateEvaluator accurate(skeleton, sim, exec);
+//   SearchResult r = YosoSearch(space, opt).run(fast, &accurate, exec);
+//
+// The context is shared by shared_ptr so its pool outlives every consumer;
+// a null ExecContextPtr everywhere means "serial" and costs no threads.
+// Thread count never affects search results (DESIGN.md §9) — the context
+// only decides how fast the identical answer arrives.
+
+#include <cstddef>
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace yoso {
+
+class ExecContext;
+using ExecContextPtr = std::shared_ptr<ExecContext>;
+
+class ExecContext {
+  /// Passkey so only create() can construct (make_shared needs a public
+  /// constructor, but callers must go through the factory).
+  struct Key {
+    explicit Key() = default;
+  };
+
+ public:
+  /// `threads` is the total compute-thread budget (callers participate in
+  /// pool work, so N threads = the caller + N-1 pool workers); 0 means all
+  /// hardware threads.
+  static ExecContextPtr create(std::size_t threads) {
+    return std::make_shared<ExecContext>(
+        Key{}, ThreadPool::resolve_threads(threads));
+  }
+
+  /// A context with no workers: everything runs inline on the caller.
+  static ExecContextPtr serial() { return create(1); }
+
+  ExecContext(Key, std::size_t threads)
+      : threads_(threads), pool_(threads - 1) {}
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  std::size_t threads() const { return threads_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  std::size_t threads_;
+  ThreadPool pool_;
+};
+
+}  // namespace yoso

@@ -1,6 +1,6 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
+#include <cstdint>
 #include <limits>
 
 #include "obs/timebase.h"
@@ -8,10 +8,87 @@
 
 namespace yoso {
 
+namespace {
+
+// Identity of the calling thread relative to a pool, set once per worker at
+// thread start.  current_slot() compares against the pool so that a thread
+// belonging to pool A reads slot 0 (coordinator) when asking pool B.
+struct TlsSlot {
+  const ThreadPool* pool = nullptr;
+  std::size_t slot = 0;
+};
+thread_local TlsSlot tls_slot;
+
+// Pool whose job body the calling thread is currently inside, if any.  This
+// is what makes re-entrant pool use a fail-fast contract instead of a
+// deadlock, and unlike the old single-flag scheme it keeps working when
+// several jobs are in flight at once.
+thread_local const ThreadPool* tls_in_body = nullptr;
+
+struct BodyScope {
+  const ThreadPool* prev;
+  explicit BodyScope(const ThreadPool* pool) : prev(tls_in_body) {
+    tls_in_body = pool;
+  }
+  ~BodyScope() { tls_in_body = prev; }
+};
+
+constexpr std::size_t kMinBlockBytes = 4096;
+constexpr int kSpinIters = 256;
+
+}  // namespace
+
+// ------------------------------------------------------------ ScratchArena
+
+void* ScratchArena::allocate(std::size_t bytes, std::size_t align) {
+  for (;;) {
+    if (active_ < blocks_.size()) {
+      Block& b = blocks_[active_];
+      const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      const std::size_t off =
+          ((base + b.used + align - 1) & ~(std::uintptr_t{align} - 1)) - base;
+      if (off + bytes <= b.size) {
+        b.used = off + bytes;
+        return b.data.get() + off;
+      }
+      if (active_ + 1 < blocks_.size()) {
+        // Re-enter a block surviving from before the last rewind.
+        blocks_[++active_].used = 0;
+        continue;
+      }
+    }
+    std::size_t size = blocks_.empty() ? kMinBlockBytes : blocks_.back().size * 2;
+    if (size < bytes + align) size = bytes + align;
+    Block fresh;
+    fresh.data = std::make_unique<std::byte[]>(size);
+    fresh.size = size;
+    blocks_.push_back(std::move(fresh));
+    active_ = blocks_.size() - 1;
+  }
+}
+
+void ScratchArena::rewind(std::size_t block, std::size_t used) {
+  if (blocks_.empty()) return;  // the frame predates the first allocation
+  active_ = block;
+  blocks_[active_].used = used;
+}
+
+std::size_t ScratchArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+// -------------------------------------------------------------- ThreadPool
+
 struct ThreadPool::Job {
   std::size_t begin = 0;
   std::size_t count = 0;
+  // parallel_for points at the caller's function (alive across the blocking
+  // call); submit() moves the function into `owned` so the caller's lambda
+  // may die before wait().
   const std::function<void(std::size_t)>* fn = nullptr;
+  std::function<void(std::size_t)> owned;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
@@ -29,13 +106,15 @@ struct ThreadPool::Job {
 };
 
 ThreadPool::ThreadPool(std::size_t workers)
-    : obs_jobs_(&obs::metrics_registry().counter("pool.jobs")),
+    : arenas_(workers + 1),
+      spin_(workers > 0 && std::thread::hardware_concurrency() > 1),
+      obs_jobs_(&obs::metrics_registry().counter("pool.jobs")),
       obs_busy_ns_(&obs::metrics_registry().counter("pool.worker_busy_ns")),
       obs_idle_ns_(&obs::metrics_registry().counter("pool.worker_idle_ns")),
       obs_depth_(&obs::metrics_registry().gauge("pool.inflight_indices")) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -53,7 +132,18 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
-void ThreadPool::run_chunk(Job& job) {
+std::size_t ThreadPool::current_slot() const {
+  return tls_slot.pool == this ? tls_slot.slot : 0;
+}
+
+void ThreadPool::require_not_in_body(const char* what) const {
+  YOSO_REQUIRE(tls_in_body != this, "ThreadPool::", what,
+               ": re-entrant call from inside a job body on the same pool "
+               "(nest work in the body instead)");
+}
+
+void ThreadPool::run_chunk(ThreadPool* pool, Job& job) {
+  BodyScope scope(pool);
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) return;
@@ -77,8 +167,56 @@ void ThreadPool::run_chunk(Job& job) {
   }
 }
 
-void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
+std::shared_ptr<ThreadPool::Job> ThreadPool::post_job(
+    std::size_t begin, std::size_t count,
+    const std::function<void(std::size_t)>* fn,
+    std::function<void(std::size_t)> owned) {
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->count = count;
+  if (fn != nullptr) {
+    job->fn = fn;
+  } else {
+    job->owned = std::move(owned);
+    job->fn = &job->owned;
+  }
+#ifndef YOSO_OBS_DISABLED
+  if (obs::enabled()) {
+    obs_jobs_->add();
+    obs_depth_->set(static_cast<double>(count));
+  }
+#endif
+  {
+    MutexLock lock(mutex_);
+    queue_.push_back(job);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_all();
+  return job;
+}
+
+void ThreadPool::finish_job(const std::shared_ptr<Job>& job) {
+  MutexLock lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == job) {
+      queue_.erase(it);
+      break;
+    }
+  }
+#ifndef YOSO_OBS_DISABLED
+  obs_depth_->set(0.0);
+#endif
+}
+
+void ThreadPool::wait_job(Job& job) {
+  MutexLock lock(job.mutex);
+  while (job.done.load(std::memory_order_acquire) != job.count)
+    job.mutex.wait(job.finished);
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
+  tls_slot = {this, slot};
+  std::uint64_t idle_gen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
 #ifndef YOSO_OBS_DISABLED
@@ -86,18 +224,35 @@ void ThreadPool::worker_loop() {
     // that straddles a toggle is simply not recorded.
     const std::uint64_t wait_begin = obs::enabled() ? obs::now_ns() : 0;
 #endif
+    // Short spin before committing to a futex sleep: in a pipelined batch
+    // the coordinator posts the next job microseconds after the previous
+    // one drains.  Pointless (and harmful) when there is only one core.
+    if (spin_) {
+      for (int s = 0; s < kSpinIters; ++s) {
+        if (generation_.load(std::memory_order_acquire) != idle_gen) break;
+        std::this_thread::yield();
+      }
+    }
     {
       MutexLock lock(mutex_);
-      while (!stop_ && generation_ == seen) mutex_.wait(wake_);
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
+      for (;;) {
+        if (stop_) return;
+        for (const std::shared_ptr<Job>& queued : queue_) {
+          if (queued->next.load(std::memory_order_relaxed) < queued->count) {
+            job = queued;  // oldest job with unclaimed indices first
+            break;
+          }
+        }
+        if (job) break;
+        idle_gen = generation_.load(std::memory_order_relaxed);
+        mutex_.wait(wake_);
+      }
     }
 #ifndef YOSO_OBS_DISABLED
     if (wait_begin != 0) obs_idle_ns_->add(obs::now_ns() - wait_begin);
     const std::uint64_t run_begin = obs::enabled() ? obs::now_ns() : 0;
 #endif
-    if (job) run_chunk(*job);
+    run_chunk(this, *job);
 #ifndef YOSO_OBS_DISABLED
     if (run_begin != 0) obs_busy_ns_->add(obs::now_ns() - run_begin);
 #endif
@@ -109,56 +264,76 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   YOSO_REQUIRE(static_cast<bool>(fn), "ThreadPool::parallel_for: empty fn");
   YOSO_REQUIRE(begin <= end, "ThreadPool::parallel_for: reversed range [",
                begin, ", ", end, ")");
+  require_not_in_body("parallel_for");
   if (end == begin) return;
   const std::size_t count = end - begin;
 
   if (workers_.empty() || count == 1) {
     // Inline: serial execution, exceptions propagate directly (the first
     // throwing index is necessarily the lowest one).
+    BodyScope scope(this);
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
 
-  // Nested parallel_for on the same pool would overwrite job_ while workers
-  // still drain the outer job — a deadlock in the outer wait.  The fork-join
-  // design has exactly one coordinator, so posting is mutually exclusive.
-  YOSO_REQUIRE(!busy_.exchange(true, std::memory_order_acquire),
-               "ThreadPool::parallel_for: re-entrant call (the pool is "
-               "already running a job; nest work in the body instead)");
+  const std::shared_ptr<Job> job = post_job(begin, count, &fn, {});
+  run_chunk(this, *job);  // the caller is a worker too
+  wait_job(*job);
+  finish_job(job);
+  const Job::ErrorSlot failure = job->error.load();
+  if (failure.error) std::rethrow_exception(failure.error);
+}
 
-#ifndef YOSO_OBS_DISABLED
-  if (obs::enabled()) {
-    obs_jobs_->add();
-    obs_depth_->set(static_cast<double>(count));
-  }
-#endif
+ThreadPool::JobTicket ThreadPool::submit(std::size_t begin, std::size_t end,
+                                         std::function<void(std::size_t)> fn) {
+  YOSO_REQUIRE(static_cast<bool>(fn), "ThreadPool::submit: empty fn");
+  YOSO_REQUIRE(begin <= end, "ThreadPool::submit: reversed range [", begin,
+               ", ", end, ")");
+  require_not_in_body("submit");
+  if (end == begin) return {};
+  return {this, post_job(begin, end - begin, nullptr, std::move(fn))};
+}
 
-  auto job = std::make_shared<Job>();
-  job->begin = begin;
-  job->count = count;
-  job->fn = &fn;
-  {
-    MutexLock lock(mutex_);
-    job_ = job;
-    ++generation_;
+ThreadPool::JobTicket::~JobTicket() {
+  if (!job_) return;
+  try {
+    wait();
+  } catch (...) {
+    // An unwaited ticket going out of scope during unwinding must not
+    // terminate; callers who care about body errors call wait().
   }
-  wake_.notify_all();
+}
 
-  run_chunk(*job);  // the caller is a worker too
+ThreadPool::JobTicket::JobTicket(JobTicket&& other) noexcept
+    : pool_(other.pool_), job_(std::move(other.job_)) {
+  other.pool_ = nullptr;
+  other.job_ = nullptr;
+}
 
-  {
-    MutexLock lock(job->mutex);
-    while (job->done.load(std::memory_order_acquire) != job->count)
-      job->mutex.wait(job->finished);
+ThreadPool::JobTicket& ThreadPool::JobTicket::operator=(
+    JobTicket&& other) noexcept {
+  if (this != &other) {
+    if (job_) {
+      try {
+        wait();
+      } catch (...) {
+      }
+    }
+    pool_ = other.pool_;
+    job_ = std::move(other.job_);
+    other.pool_ = nullptr;
+    other.job_ = nullptr;
   }
-  {
-    MutexLock lock(mutex_);
-    job_ = nullptr;
-  }
-  busy_.store(false, std::memory_order_release);
-#ifndef YOSO_OBS_DISABLED
-  obs_depth_->set(0.0);
-#endif
+  return *this;
+}
+
+void ThreadPool::JobTicket::wait() {
+  if (!job_) return;
+  const std::shared_ptr<Job> job = std::move(job_);
+  job_ = nullptr;
+  run_chunk(pool_, *job);  // drain stragglers on the caller
+  pool_->wait_job(*job);
+  pool_->finish_job(job);
   const Job::ErrorSlot failure = job->error.load();
   if (failure.error) std::rethrow_exception(failure.error);
 }

@@ -1,5 +1,6 @@
 // Batched/parallel evaluation engine: bit-identical results at any thread
-// count, memoization correctness, and the negative-reward regression on
+// count (through the two-stage pipeline), memoization correctness, the
+// shared-ExecContext contract, and the negative-reward regression on
 // SearchResult::best_fast_reward.
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 
 #include "core/alt_search.h"
 #include "core/search.h"
+#include "util/exec_context.h"
 
 namespace yoso {
 namespace {
@@ -78,13 +80,17 @@ std::unique_ptr<FastEvaluator> ParallelSearchTest::fast_;
 std::unique_ptr<AccurateEvaluator> ParallelSearchTest::accurate_;
 
 TEST_F(ParallelSearchTest, BatchMatchesSerialEvaluation) {
+  // 90 misses span three pipeline chunks (kPipelineChunk = 32) with a
+  // ragged tail, so the double-buffered stages and the chunk hand-off are
+  // all exercised; the appended repeats exercise in-batch dedupe.
   Rng rng(4);
   std::vector<CandidateDesign> batch;
-  for (int i = 0; i < 30; ++i) batch.push_back(space_->random_candidate(rng));
-  batch.push_back(batch[2]);  // in-batch revisits exercise the memo path
+  for (int i = 0; i < 90; ++i) batch.push_back(space_->random_candidate(rng));
+  batch.push_back(batch[2]);
   batch.push_back(batch[7]);
-  for (std::size_t threads : {1u, 3u}) {
-    fast_->set_parallelism(threads);
+  batch.push_back(batch[40]);  // revisit from a later chunk
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    fast_->set_exec_context(ExecContext::create(threads));
     fast_->clear_cache();
     const std::vector<EvalResult> results = fast_->evaluate_batch(batch);
     ASSERT_EQ(results.size(), batch.size());
@@ -103,7 +109,8 @@ TEST_F(ParallelSearchTest, EmptyBatchReturnsEmpty) {
 }
 
 TEST_F(ParallelSearchTest, MemoizationCachesDistinctDesigns) {
-  fast_->set_parallelism(2);
+  fast_->set_parallelism(2);  // the deprecated shim must still route here
+  EXPECT_EQ(fast_->parallelism(), 2u);
   fast_->clear_cache();
   Rng rng(6);
   std::vector<CandidateDesign> unique;
@@ -117,18 +124,40 @@ TEST_F(ParallelSearchTest, MemoizationCachesDistinctDesigns) {
   EXPECT_EQ(fast_->cache_size(), 10u);
 }
 
+TEST_F(ParallelSearchTest, CacheContentsIndependentOfThreadCount) {
+  // The insert log is merged in proposal order on the coordinator, so after
+  // an over-capacity-free run the cache holds exactly the distinct designs —
+  // the same set at every thread count.
+  Rng rng(17);
+  std::vector<CandidateDesign> batch;
+  for (int i = 0; i < 70; ++i) batch.push_back(space_->random_candidate(rng));
+  std::vector<std::size_t> sizes;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    fast_->set_exec_context(ExecContext::create(threads));
+    fast_->clear_cache();
+    fast_->evaluate_batch(batch);
+    sizes.push_back(fast_->cache_size());
+    // A second pass must be pure hits: the cache grew identically.
+    fast_->evaluate_batch(batch);
+    EXPECT_EQ(fast_->cache_size(), sizes.back()) << threads;
+  }
+  EXPECT_EQ(sizes[0], sizes[1]);
+  EXPECT_EQ(sizes[0], sizes[2]);
+  EXPECT_EQ(sizes[0], 70u);
+}
+
 TEST_F(ParallelSearchTest, YosoSearchIdenticalAcrossThreadCounts) {
   SearchOptions opt = base_options();
   opt.batch_size = 8;
-  opt.threads = 1;
   fast_->clear_cache();
-  const SearchResult r1 = YosoSearch(*space_, opt).run(*fast_, accurate_.get());
-  opt.threads = 2;
+  const SearchResult r1 = YosoSearch(*space_, opt).run(
+      *fast_, accurate_.get(), ExecContext::create(1));
   fast_->clear_cache();
-  const SearchResult r2 = YosoSearch(*space_, opt).run(*fast_, accurate_.get());
-  opt.threads = 8;
+  const SearchResult r2 = YosoSearch(*space_, opt).run(
+      *fast_, accurate_.get(), ExecContext::create(2));
   fast_->clear_cache();
-  const SearchResult r8 = YosoSearch(*space_, opt).run(*fast_, accurate_.get());
+  const SearchResult r8 = YosoSearch(*space_, opt).run(
+      *fast_, accurate_.get(), ExecContext::create(8));
   expect_identical(r1, r2);
   expect_identical(r1, r8);
 }
@@ -136,17 +165,15 @@ TEST_F(ParallelSearchTest, YosoSearchIdenticalAcrossThreadCounts) {
 TEST_F(ParallelSearchTest, RandomSearchIdenticalAcrossThreadsAndBatches) {
   SearchOptions opt = base_options();
   opt.batch_size = 1;
-  opt.threads = 1;
   fast_->clear_cache();
-  const SearchResult serial =
-      RandomSearchDriver(*space_, opt).run(*fast_, nullptr);
+  const SearchResult serial = RandomSearchDriver(*space_, opt).run(
+      *fast_, nullptr, ExecContext::create(1));
   // Random proposals are feedback-free, so even the batch size must not
   // change the outcome — only the evaluation schedule.
   opt.batch_size = 16;
-  opt.threads = 4;
   fast_->clear_cache();
-  const SearchResult batched =
-      RandomSearchDriver(*space_, opt).run(*fast_, nullptr);
+  const SearchResult batched = RandomSearchDriver(*space_, opt).run(
+      *fast_, nullptr, ExecContext::create(4));
   expect_identical(serial, batched);
 }
 
@@ -155,28 +182,49 @@ TEST_F(ParallelSearchTest, BatchSizeOneMatchesLegacySerialLoop) {
   // interleaving exactly, whatever the thread count.
   SearchOptions opt = base_options();
   opt.batch_size = 1;
-  opt.threads = 1;
   fast_->clear_cache();
-  const SearchResult a = YosoSearch(*space_, opt).run(*fast_, nullptr);
-  opt.threads = 4;
+  const SearchResult a = YosoSearch(*space_, opt).run(
+      *fast_, nullptr, ExecContext::create(1));
   fast_->clear_cache();
-  const SearchResult b = YosoSearch(*space_, opt).run(*fast_, nullptr);
+  const SearchResult b = YosoSearch(*space_, opt).run(
+      *fast_, nullptr, ExecContext::create(4));
   expect_identical(a, b);
+}
+
+TEST_F(ParallelSearchTest, SharedExecContextServesBothEvaluators) {
+  // One context injected via run() must land in both evaluators — the
+  // Fast+Accurate pair shares the pool instead of oversubscribing — and the
+  // result must match a serial run bit for bit.  The Step-3 rerank fans the
+  // accurate evaluator out over the same pool right after the fast batches
+  // used it, which would deadlock or trip the nested-parallel_for contract
+  // if the hand-off leaked.
+  SearchOptions opt = base_options();
+  opt.batch_size = 8;
+  const ExecContextPtr shared = ExecContext::create(3);
+  fast_->clear_cache();
+  const SearchResult r = YosoSearch(*space_, opt).run(
+      *fast_, accurate_.get(), shared);
+  EXPECT_EQ(fast_->parallelism(), 3u);
+  ASSERT_TRUE(r.best.has_value());
+  fast_->clear_cache();
+  const SearchResult serial = YosoSearch(*space_, opt).run(
+      *fast_, accurate_.get(), ExecContext::create(1));
+  expect_identical(serial, r);
 }
 
 TEST_F(ParallelSearchTest, AltDriversRunThroughSharedBase) {
   SearchOptions opt = base_options();
   opt.iterations = 60;
-  opt.threads = 2;
+  const ExecContextPtr exec = ExecContext::create(2);
   const SearchResult evo =
-      EvolutionarySearch(*space_, opt).run(*fast_, accurate_.get());
+      EvolutionarySearch(*space_, opt).run(*fast_, accurate_.get(), exec);
   EXPECT_EQ(evo.iterations_run, 60u);
   ASSERT_TRUE(evo.best.has_value());
   BayesOptOptions bopt;
   bopt.initial_random = 15;
   bopt.acquisition_pool = 8;
   const SearchResult bo =
-      BayesOptSearch(*space_, opt, bopt).run(*fast_, accurate_.get());
+      BayesOptSearch(*space_, opt, bopt).run(*fast_, accurate_.get(), exec);
   EXPECT_EQ(bo.iterations_run, 60u);
   ASSERT_TRUE(bo.best.has_value());
 }

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "util/contract.h"
+
 namespace yoso {
 namespace {
 
@@ -139,6 +141,45 @@ TEST_F(SearchTest, RlBeatsRandomOnLateRewards) {
     return acc / static_cast<double>(n);
   };
   EXPECT_GT(tail_mean(rr), tail_mean(rd));
+}
+
+TEST(SearchOptionsValidate, AcceptsDefaults) {
+  EXPECT_NO_THROW(SearchOptions{}.validate());
+}
+
+TEST(SearchOptionsValidate, RejectsZeroBatchSize) {
+  SearchOptions opt;
+  opt.batch_size = 0;
+  EXPECT_THROW(opt.validate(), ContractViolation);
+}
+
+TEST(SearchOptionsValidate, RejectsZeroIterations) {
+  SearchOptions opt;
+  opt.iterations = 0;
+  EXPECT_THROW(opt.validate(), ContractViolation);
+}
+
+TEST(SearchOptionsValidate, RejectsZeroTopN) {
+  SearchOptions opt;
+  opt.top_n = 0;
+  EXPECT_THROW(opt.validate(), ContractViolation);
+}
+
+TEST(SearchOptionsValidate, RunRejectsBadOptionsBeforeTouchingEvaluators) {
+  // Every driver funnels through SearchDriver::run(), which validates
+  // before proposing anything — the CLI relies on this for its usage error.
+  DesignSpace space;
+  SearchOptions opt;
+  opt.batch_size = 0;
+  class NeverCalled : public Evaluator {
+   public:
+    EvalResult evaluate(const CandidateDesign&) override {
+      ADD_FAILURE() << "evaluate() reached despite invalid options";
+      return {};
+    }
+  } evaluator;
+  EXPECT_THROW(RandomSearchDriver(space, opt).run(evaluator, nullptr),
+               ContractViolation);
 }
 
 TEST(RerankFinalists, OrdersAndMarksFeasibility) {
