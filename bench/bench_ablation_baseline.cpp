@@ -6,7 +6,11 @@
 
 #include <iostream>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
 #include "core/search.h"
 #include "util/stats.h"
 

@@ -7,7 +7,13 @@
 
 #include <iostream>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/two_stage.h"
 
 int main() {

@@ -7,10 +7,19 @@
 #include <iostream>
 #include <memory>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "predictor/gp.h"
 #include "predictor/models.h"
+#include "predictor/perf_predictor.h"
+#include "predictor/regressor.h"
+#include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -8,8 +8,12 @@
 
 #include <iostream>
 
+#include "arch/network.h"
 #include "bench_common.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
 #include "nn/trainer.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 int main() {

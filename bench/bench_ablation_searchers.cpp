@@ -11,9 +11,14 @@
 
 #include <iostream>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
 #include "core/alt_search.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
 #include "core/pareto.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "util/stats.h"
 

@@ -9,8 +9,14 @@
 
 #include <iostream>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
 #include "core/extended_space.h"
+#include "core/reward.h"
+#include "core/search.h"
 
 int main() {
   using namespace yoso;

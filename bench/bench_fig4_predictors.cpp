@@ -6,15 +6,19 @@
 // (YOSO_SCALE=4 reaches the paper's 3000/600).
 
 #include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <iostream>
 #include <memory>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
 #include "predictor/gp.h"
 #include "predictor/models.h"
 #include "predictor/perf_predictor.h"
+#include "predictor/regressor.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace {

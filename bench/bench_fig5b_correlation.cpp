@@ -13,9 +13,13 @@
 
 #include <iostream>
 
+#include "arch/network.h"
 #include "bench_common.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
 #include "nn/trainer.h"
 #include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace {

@@ -7,12 +7,15 @@
 // the conclusion that prediction is orders of magnitude cheaper holds.)
 
 #include <benchmark/benchmark.h>
-
 #include <iostream>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
 #include "obs/trace.h"
 #include "predictor/perf_predictor.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace {

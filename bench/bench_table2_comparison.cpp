@@ -14,7 +14,12 @@
 #include <iostream>
 #include <map>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "core/two_stage.h"
 

@@ -33,12 +33,17 @@
 #include <string_view>
 #include <vector>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "bench_common.h"
 #include "bench_json.h"
+#include "core/design_space.h"
 #include "core/evaluator.h"
 #include "core/two_stage.h"
 #include "obs/trace.h"
 #include "util/exec_context.h"
+#include "util/rng.h"
 
 namespace {
 

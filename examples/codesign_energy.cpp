@@ -7,12 +7,17 @@
 // energy breakdown of the winner so a hardware engineer can see where the
 // joules go.
 
+#include <algorithm>
 #include <iostream>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
-#include "util/table.h"
 #include "core/two_stage.h"
-#include <algorithm>
+#include "util/table.h"
 
 int main() {
   using namespace yoso;

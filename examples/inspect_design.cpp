@@ -6,10 +6,15 @@
 
 #include <iostream>
 
+#include "accel/config.h"
 #include "accel/roofline.h"
+#include "arch/network.h"
+#include "nn/dataset.h"
 #include "nn/metrics.h"
+#include "nn/network.h"
 #include "nn/quantize.h"
 #include "nn/trainer.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 int main() {

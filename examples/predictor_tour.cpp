@@ -6,7 +6,12 @@
 #include <cmath>
 #include <iostream>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
 #include "predictor/perf_predictor.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 

@@ -6,7 +6,11 @@
 
 #include <iostream>
 
+#include "arch/network.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
 #include "nn/trainer.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 int main() {

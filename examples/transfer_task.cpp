@@ -11,6 +11,11 @@
 
 #include <iostream>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "util/table.h"
 

@@ -35,15 +35,20 @@
 
 #include "accel/area.h"
 #include "accel/rtl_export.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "base/contract.h"
 #include "core/alt_search.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
 #include "core/report.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "core/serialize.h"
 #include "core/trace_io.h"
 #include "obs/metrics.h"
 #include "obs/timebase.h"
 #include "obs/trace.h"
-#include "util/contract.h"
 #include "util/exec_context.h"
 #include "util/table.h"
 

@@ -31,25 +31,29 @@ cmake --build build-check -j "$JOBS"
 ctest --test-dir build-check -j "$JOBS" --output-on-failure
 
 step "2/4 yoso-lint (tree + self-test + standalone headers) + format + docs gates"
-# yoso-lint's clang engine reads the exported compile database; fail fast
-# with a clear message if it is missing (configure didn't run / ancient
-# CMake) or stale (older than the top-level CMakeLists.txt), instead of
-# letting the lint silently degrade to a weaker engine.
-COMPILE_DB=build-check/compile_commands.json
-if [ ! -f "$COMPILE_DB" ]; then
-  echo "error: $COMPILE_DB is missing." >&2
-  echo "CMAKE_EXPORT_COMPILE_COMMANDS=ON should have produced it during the" >&2
-  echo "configure step above; rerun 'cmake -B build-check -S .' and check" >&2
-  echo "for configure errors before trusting any lint result." >&2
-  exit 1
-fi
-if [ CMakeLists.txt -nt "$COMPILE_DB" ]; then
-  echo "error: $COMPILE_DB is stale (older than CMakeLists.txt)." >&2
-  echo "Reconfigure with 'cmake -B build-check -S .' so yoso-lint analyses" >&2
-  echo "the flags the tree actually builds with." >&2
-  exit 1
-fi
-cmake --build build-check --target lint
+# yoso-lint splits its exit status: 0 clean, 1 violations in the tree,
+# 2 tool error (missing/stale compile database, broken yoso_layers.json,
+# unusable engine).  --require-fresh-db makes staleness a tool error here
+# instead of silently degrading to a weaker engine, and the two failure
+# modes get different messages so "the tree is dirty" and "the lint could
+# not run" never masquerade as each other.
+LINT_RC=0
+python3 tools/yoso_lint.py --root . \
+  --compile-db build-check/compile_commands.json --require-fresh-db \
+  --check-headers --cxx "${CXX:-c++}" \
+  --json build-check/lint_report.json || LINT_RC=$?
+case "$LINT_RC" in
+  0) ;;
+  1)
+    echo "error: yoso-lint found violations (see above; machine-readable" >&2
+    echo "report at build-check/lint_report.json)." >&2
+    exit 1 ;;
+  *)
+    echo "error: yoso-lint could not run (exit $LINT_RC): missing or stale" >&2
+    echo "compile database, or broken tools/yoso_layers.json.  Reconfigure" >&2
+    echo "with 'cmake -B build-check -S .' and retry." >&2
+    exit "$LINT_RC" ;;
+esac
 python3 tools/yoso_format.py --root . --check --builtin-only
 python3 tools/yoso_docs_check.py .
 

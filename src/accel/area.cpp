@@ -1,5 +1,7 @@
 #include "accel/area.h"
 
+#include "accel/config.h"
+
 namespace yoso {
 
 AreaBreakdown estimate_area(const AcceleratorConfig& config,

@@ -5,6 +5,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "accel/config.h"
+#include "accel/tech.h"
+#include "arch/network.h"
+
 namespace yoso {
 
 double eff_fit(int n, int m) {

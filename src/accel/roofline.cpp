@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#include "accel/config.h"
+#include "accel/mapping.h"
+#include "accel/tech.h"
+#include "arch/network.h"
+
 namespace yoso {
 
 RooflineSummary roofline_analysis(const std::vector<Layer>& layers,

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "accel/config.h"
-#include "accel/mapping.h"
 #include "accel/tech.h"
 #include "arch/network.h"
 

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/config.h"
+#include "accel/mapping.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "base/contract.h"
 #include "obs/trace.h"
-#include "util/contract.h"
 
 namespace yoso {
 

@@ -1,6 +1,8 @@
 #include "arch/encoding.h"
 
-#include "util/contract.h"
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "base/contract.h"
 
 namespace yoso {
 

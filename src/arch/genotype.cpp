@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "arch/ops.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 bool validate_cell(const CellGenotype& cell, std::string* error) {

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "arch/genotype.h"
+#include "arch/ops.h"
+
 namespace yoso {
 
 namespace {

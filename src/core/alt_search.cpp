@@ -4,7 +4,13 @@
 #include <cmath>
 #include <numbers>
 
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/search.h"
+#include "linalg/matrix.h"
+#include "predictor/gp.h"
 #include "predictor/perf_predictor.h"
+#include "util/rng.h"
 
 namespace yoso {
 

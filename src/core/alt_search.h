@@ -21,8 +21,9 @@
 
 #include <deque>
 
+#include "core/design_space.h"
 #include "core/search.h"
-#include "predictor/gp.h"
+#include "util/rng.h"
 
 namespace yoso {
 

@@ -3,6 +3,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "accel/config.h"
+#include "arch/encoding.h"
+#include "arch/genotype.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 std::string candidate_key(const CandidateDesign& candidate) {

@@ -11,6 +11,7 @@
 #include "accel/config.h"
 #include "arch/encoding.h"
 #include "arch/genotype.h"
+#include "util/rng.h"
 
 namespace yoso {
 

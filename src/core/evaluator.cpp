@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <string_view>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/reward.h"
 #include "obs/trace.h"
+#include "predictor/perf_predictor.h"
+#include "util/exec_context.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace yoso {
 namespace {

@@ -48,12 +48,13 @@
 #include <vector>
 
 #include "accel/simulator.h"
+#include "arch/network.h"
+#include "base/thread_annotations.h"
 #include "core/design_space.h"
 #include "core/reward.h"
 #include "predictor/perf_predictor.h"
 #include "surrogate/accuracy_model.h"
 #include "util/exec_context.h"
-#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace yoso {

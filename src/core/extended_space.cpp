@@ -4,6 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "base/contract.h"
+#include "core/design_space.h"
+#include "core/reward.h"
+#include "predictor/perf_predictor.h"
+#include "rl/controller.h"
+#include "rl/reinforce.h"
+#include "surrogate/accuracy_model.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 ExtendedDesignSpace::ExtendedDesignSpace(ConfigSpace config_space,
@@ -29,11 +41,13 @@ std::vector<int> ExtendedDesignSpace::cardinalities() const {
 
 NetworkSkeleton ExtendedDesignSpace::skeleton_for(int depth_index,
                                                   int stem_index) const {
-  if (depth_index < 0 ||
-      depth_index >= static_cast<int>(normals_per_stage_.size()) ||
-      stem_index < 0 ||
-      stem_index >= static_cast<int>(stem_channel_options_.size()))
-    throw std::invalid_argument("skeleton_for: index out of range");
+  YOSO_REQUIRE(depth_index >= 0 &&
+                   depth_index < static_cast<int>(normals_per_stage_.size()),
+               "skeleton_for: depth_index ", depth_index, " out of range");
+  YOSO_REQUIRE(stem_index >= 0 &&
+                   stem_index <
+                       static_cast<int>(stem_channel_options_.size()),
+               "skeleton_for: stem_index ", stem_index, " out of range");
   NetworkSkeleton s = default_skeleton();
   s.cells.clear();
   const int d = normals_per_stage_[static_cast<std::size_t>(depth_index)];
@@ -96,6 +110,8 @@ ExtendedFastEvaluator::ExtendedFastEvaluator(const ExtendedDesignSpace& space,
                                              std::size_t predictor_samples,
                                              std::uint64_t seed)
     : predictor_(default_skeleton()) {
+  YOSO_REQUIRE(predictor_samples > 0,
+               "ExtendedFastEvaluator: predictor_samples must be positive");
   // Sample uniformly across skeleton choices so the GP sees the whole MAC
   // range the extended space spans.
   Rng rng(seed);

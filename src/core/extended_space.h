@@ -15,9 +15,18 @@
 #include <limits>
 #include <optional>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "core/design_space.h"
 #include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
+#include "predictor/perf_predictor.h"
 #include "rl/reinforce.h"
+#include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 
 namespace yoso {
 

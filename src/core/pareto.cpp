@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/reward.h"
+
 namespace yoso {
 
 bool dominates(const ParetoPoint& a, const ParetoPoint& b) {

@@ -6,6 +6,10 @@
 #include "accel/area.h"
 #include "accel/roofline.h"
 #include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/reward.h"
+#include "core/search.h"
 #include "core/serialize.h"
 #include "util/table.h"
 

@@ -7,6 +7,8 @@
 
 #include <string>
 
+#include "arch/network.h"
+#include "core/reward.h"
 #include "core/search.h"
 
 namespace yoso {

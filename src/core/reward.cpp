@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "util/contract.h"
+#include "base/contract.h"
 
 namespace yoso {
 

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 
+#include "base/contract.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "obs/trace.h"
-#include "util/contract.h"
+#include "rl/controller.h"
+#include "rl/reinforce.h"
+#include "util/exec_context.h"
+#include "util/rng.h"
 
 namespace yoso {
 

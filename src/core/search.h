@@ -26,12 +26,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "core/design_space.h"
 #include "core/evaluator.h"
 #include "core/reward.h"
+#include "rl/controller.h"
 #include "rl/reinforce.h"
+#include "util/exec_context.h"
 #include "util/rng.h"
-#include "util/thread_annotations.h"
 
 namespace yoso {
 

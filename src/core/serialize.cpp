@@ -5,6 +5,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "accel/config.h"
+#include "arch/genotype.h"
+#include "core/design_space.h"
+
 namespace yoso {
 
 namespace {

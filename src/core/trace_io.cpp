@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/search.h"
 #include "core/serialize.h"
 
 namespace yoso {

@@ -2,6 +2,12 @@
 
 #include <limits>
 
+#include "accel/config.h"
+#include "arch/zoo.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
+
 namespace yoso {
 
 TwoStageRow two_stage_best_config(const ReferenceModel& model,

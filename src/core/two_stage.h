@@ -9,7 +9,6 @@
 #include <string>
 #include <vector>
 
-#include "accel/simulator.h"
 #include "arch/zoo.h"
 #include "core/design_space.h"
 #include "core/evaluator.h"

@@ -4,8 +4,9 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
-#include "util/contract.h"
+#include "base/contract.h"
 #include "util/thread_pool.h"
 
 #if defined(__x86_64__)
@@ -866,6 +867,9 @@ void gemm(const double* a, const double* b, double* c, std::size_t m,
 
 void gemv(const double* a, const double* x, double* y, std::size_t m,
           std::size_t n) {
+  if (m == 0) return;
+  YOSO_REQUIRE(a != nullptr && x != nullptr && y != nullptr,
+               "kernels::gemv: null operand");
   for (std::size_t i = 0; i < m; ++i) y[i] = dot(a + i * n, x, n);
 }
 
@@ -898,6 +902,8 @@ void sgemm_abt(const float* a, const float* b, float* c, std::size_t m,
     return;
   }
   YOSO_REQUIRE(a != nullptr && b != nullptr, "kernels::sgemm_abt: null input");
+  YOSO_REQUIRE(k <= std::numeric_limits<std::size_t>::max() / n,
+               "kernels::sgemm_abt: k*n overflows (k=", k, ", n=", n, ")");
   // Pack B (n x k) into B^T (k x n) so the product reads unit-stride
   // panels; A * B^T then runs through the same row kernel as sgemm_ab.
   std::vector<float> bt(k * n);
@@ -935,6 +941,10 @@ void sgemm_atb_acc(const float* a, const float* b, float* c, std::size_t m,
 
 PackedRows pack_rows(const double* src, std::size_t rows, std::size_t dim) {
   YOSO_REQUIRE(src != nullptr || rows == 0, "kernels::pack_rows: null input");
+  YOSO_REQUIRE(dim == 0 ||
+                   rows <= std::numeric_limits<std::size_t>::max() / dim,
+               "kernels::pack_rows: rows*dim overflows (rows=", rows,
+               ", dim=", dim, ")");
   PackedRows p;
   p.rows = rows;
   p.dim = dim;

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.h"
-#include "util/contract.h"
+#include "base/contract.h"
 
 namespace yoso {
 

@@ -2,6 +2,13 @@
 
 #include <stdexcept>
 
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 namespace {

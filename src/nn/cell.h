@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "arch/genotype.h"
+#include "arch/ops.h"
 #include "nn/layers.h"
 #include "nn/module.h"
+#include "nn/tensor.h"
 
 namespace yoso {
 

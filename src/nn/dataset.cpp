@@ -5,6 +5,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "nn/tensor.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 SynthCifar::SynthCifar(int height_width, int num_classes, std::uint64_t seed)

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "base/contract.h"
 #include "linalg/kernels.h"
+#include "nn/tensor.h"
 
 namespace yoso {
 
@@ -14,6 +16,9 @@ int out_size(int in, int stride) { return (in + stride - 1) / stride; }
 
 ColMatrix im2col(const Tensor& x, int kernel, int stride) {
   if (x.rank() != 4) throw std::invalid_argument("im2col: need NCHW input");
+  YOSO_REQUIRE(kernel >= 1 && stride >= 1,
+               "im2col: kernel=", kernel, " stride=", stride,
+               " must be positive");
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int pad = kernel / 2;
   const int oh = out_size(h, stride), ow = out_size(w, stride);
@@ -50,6 +55,9 @@ Tensor col2im(const ColMatrix& cols, const std::vector<int>& input_shape,
               int kernel, int stride) {
   if (input_shape.size() != 4)
     throw std::invalid_argument("col2im: need NCHW shape");
+  YOSO_REQUIRE(kernel >= 1 && stride >= 1,
+               "col2im: kernel=", kernel, " stride=", stride,
+               " must be positive");
   Tensor gx(input_shape);
   const int n = input_shape[0], c = input_shape[1], h = input_shape[2],
             w = input_shape[3];

@@ -1,12 +1,13 @@
 #include "nn/layers.h"
 
-#include "nn/im2col.h"
-
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/im2col.h"
 #include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "nn/module.h"
+#include "nn/tensor.h"
 #include "util/rng.h"
 
 namespace yoso {

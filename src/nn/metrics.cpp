@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "arch/genotype.h"
+#include "base/contract.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+
 namespace yoso {
 
 ConfusionMatrix::ConfusionMatrix(int num_classes)
@@ -32,6 +38,10 @@ void ConfusionMatrix::add_batch(const Tensor& logits,
 }
 
 long long ConfusionMatrix::at(int true_class, int predicted) const {
+  YOSO_CHECK(true_class >= 0 && true_class < num_classes_ && predicted >= 0 &&
+                 predicted < num_classes_,
+             "ConfusionMatrix::at: (", true_class, ", ", predicted,
+             ") outside ", num_classes_, "x", num_classes_, " matrix");
   return counts_[static_cast<std::size_t>(true_class) * num_classes_ +
                  predicted];
 }

@@ -5,8 +5,10 @@
 
 #include <vector>
 
+#include "arch/genotype.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "nn/tensor.h"
 
 namespace yoso {
 

@@ -2,6 +2,15 @@
 
 #include <stdexcept>
 
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "nn/cell.h"
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 namespace {

@@ -20,6 +20,8 @@
 #include "nn/cell.h"
 #include "nn/dataset.h"
 #include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
 
 namespace yoso {
 

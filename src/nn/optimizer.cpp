@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "nn/module.h"
+#include "nn/tensor.h"
+
 namespace yoso {
 
 void SgdOptimizer::step(const std::vector<Param*>& params, double lr) {

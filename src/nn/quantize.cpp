@@ -4,6 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "arch/genotype.h"
+#include "nn/dataset.h"
+#include "nn/module.h"
+#include "nn/network.h"
+
 namespace yoso {
 
 QuantizationStats quantize_parameters(std::vector<Param*>& params, int bits) {

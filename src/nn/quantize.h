@@ -11,6 +11,9 @@
 
 #include <vector>
 
+#include "arch/genotype.h"
+#include "nn/dataset.h"
+#include "nn/module.h"
 #include "nn/network.h"
 
 namespace yoso {

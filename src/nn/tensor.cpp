@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "base/contract.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
@@ -27,10 +30,16 @@ std::size_t Tensor::index(int n, int c, int h, int w) const {
 }
 
 float& Tensor::at(int n, int c, int h, int w) {
+  YOSO_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+                  h < shape_[2] && w >= 0 && w < shape_[3],
+              "Tensor::at: index out of range");
   return data_[index(n, c, h, w)];
 }
 
 float Tensor::at(int n, int c, int h, int w) const {
+  YOSO_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+                  h < shape_[2] && w >= 0 && w < shape_[3],
+              "Tensor::at: index out of range");
   return data_[index(n, c, h, w)];
 }
 

@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "nn/dataset.h"
+#include "nn/module.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
 #include "obs/trace.h"
+#include "util/rng.h"
 
 namespace yoso {
 

@@ -8,7 +8,6 @@
 
 #include "nn/dataset.h"
 #include "nn/network.h"
-#include "nn/optimizer.h"
 #include "util/rng.h"
 
 namespace yoso {

@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "util/contract.h"
+#include "base/contract.h"
 
 namespace yoso {
 namespace obs {
@@ -20,7 +20,7 @@ std::atomic<bool>& enabled_flag() {
   // The process-wide observability switch.  Observability is the sanctioned
   // home of cross-cutting process state; determinism is preserved because
   // nothing on the search path ever reads a metric back.
-  static std::atomic<bool> flag{false};  // yoso-lint: allow(static-state)
+  static std::atomic<bool> flag{false};
   return flag;
 }
 
@@ -149,7 +149,7 @@ void MetricsRegistry::reset() {
 MetricsRegistry& metrics_registry() {
   // Process-wide by design (DESIGN.md §13): the one place instrumented
   // subsystems meet.  Never torn down, so handles are process-lifetime.
-  static MetricsRegistry registry;  // yoso-lint: allow(static-state)
+  static MetricsRegistry registry;
   return registry;
 }
 

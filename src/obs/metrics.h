@@ -36,7 +36,8 @@
 #include <string_view>
 #include <vector>
 
-#include "util/thread_annotations.h"
+#include "base/contract.h"
+#include "base/thread_annotations.h"
 
 namespace yoso {
 namespace obs {
@@ -92,6 +93,8 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t bucket(std::size_t i) const {
+    YOSO_CHECK(i < num_buckets(),
+               "Histogram::bucket: ", i, " >= ", num_buckets());
     return buckets_[i].load(std::memory_order_relaxed);
   }
   std::size_t num_buckets() const { return bounds_.size() + 1; }

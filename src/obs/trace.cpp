@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "obs/timebase.h"
-#include "util/contract.h"
-#include "util/thread_annotations.h"
+#include "base/contract.h"
+#include "base/thread_annotations.h"
 
 namespace yoso {
 namespace obs {
@@ -158,14 +158,14 @@ class TraceCollector {
 
   static TraceCollector& instance() {
     // Process-wide by design, like the metrics registry (DESIGN.md §13).
-    static TraceCollector collector;  // yoso-lint: allow(static-state)
+    static TraceCollector collector;
     return collector;
   }
 
   ThreadBuffer& buffer_for_this_thread() {
     // One ring per thread: registration is the only locked step, every
     // begin/end after that touches only this thread's buffer.
-    thread_local ThreadBuffer* buffer =  // yoso-lint: allow(static-state)
+    thread_local ThreadBuffer* buffer =
         nullptr;
     if (buffer == nullptr) {
       MutexLock lock(mutex_);

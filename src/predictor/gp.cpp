@@ -4,8 +4,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "base/contract.h"
+#include "linalg/matrix.h"
 #include "obs/trace.h"
-#include "util/contract.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -98,6 +99,8 @@ void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
 
 void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
                                double* var, ThreadPool* pool) const {
+  YOSO_REQUIRE(nq == 0 || (x != nullptr && mu != nullptr),
+               "GpRegressor::predict_rows: null input/output");
   const std::size_t n = train_x_.rows();
   const std::size_t dim = train_x_.cols();
   const double l = hp_.lengthscale;
@@ -180,6 +183,8 @@ void GpRegressor::predict_means_pair(const GpRegressor& a,
                a.train_x_.cols(), " vs ", b.train_x_.rows(), "x",
                b.train_x_.cols(), ")");
   if (nq == 0) return;
+  YOSO_REQUIRE(x != nullptr && mu_a != nullptr && mu_b != nullptr,
+               "GpRegressor::predict_means_pair: null input/output");
   obs::counter_add("gp.predict_rows", 2 * nq);
   const std::size_t n = a.train_x_.rows();
   const std::size_t dim = a.train_x_.cols();

@@ -6,6 +6,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "base/contract.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 // ------------------------------------------------------- LinearRegressor
@@ -75,6 +79,9 @@ int DecisionTreeRegressor::build(const Matrix& x, std::span<const double> y,
                                  std::vector<std::size_t>& idx,
                                  std::size_t begin, std::size_t end,
                                  int depth, Rng& rng) {
+  YOSO_DCHECK(begin < end && end <= idx.size(),
+              "DecisionTreeRegressor::build: bad range [", begin, ", ", end,
+              ")");
   const std::size_t n = end - begin;
   double mean = 0.0;
   for (std::size_t i = begin; i < end; ++i) mean += y[idx[i]];

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "linalg/matrix.h"
 #include "predictor/regressor.h"
 #include "util/rng.h"
 

@@ -3,14 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "base/contract.h"
+#include "linalg/matrix.h"
 #include "obs/trace.h"
+#include "predictor/gp.h"
 #include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace yoso {
 
 void codesign_features_into(const ArchFeatures& af,
                             const AcceleratorConfig& config, double* out) {
+  YOSO_REQUIRE(out != nullptr, "codesign_features_into: null output");
   // Architecture.
   *out++ = af.log10_macs;
   *out++ = af.log10_params;
@@ -145,6 +154,9 @@ std::vector<double> PerformancePredictor::predict_latency_ms_batch(
 void PerformancePredictor::predict_latency_energy_batch(
     const double* features, std::size_t rows, ThreadPool* pool,
     double* latency_ms, double* energy_mj) const {
+  YOSO_REQUIRE(rows == 0 || (features != nullptr && latency_ms != nullptr &&
+                             energy_mj != nullptr),
+               "predict_latency_energy_batch: null input/output");
   if (!fitted_) throw std::logic_error("PerformancePredictor: not fitted");
   // Both GPs were fitted on the same feature matrix (fit() above), which is
   // the precondition letting the pair call share one standardization and

@@ -9,6 +9,7 @@
 #include "accel/simulator.h"
 #include "arch/genotype.h"
 #include "arch/network.h"
+#include "linalg/matrix.h"
 #include "predictor/gp.h"
 #include "util/rng.h"
 

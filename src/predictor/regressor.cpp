@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/matrix.h"
+
 namespace yoso {
 
 std::vector<double> Regressor::predict_all(const Matrix& x) const {

@@ -5,6 +5,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "base/contract.h"
+#include "util/rng.h"
+
 namespace yoso {
 
 namespace {
@@ -89,6 +92,11 @@ std::vector<double> LstmController::step_forward(Episode& ep, int t,
     for (std::size_t i = 0; i < e; ++i) ep.x[ti][i] = sv[i];
   } else {
     const auto ev = store_.value(embed_[ti]);
+    YOSO_REQUIRE(prev_action >= 0 &&
+                     static_cast<std::size_t>(prev_action + 1) * e <=
+                         ev.size(),
+                 "Controller::step_forward: prev_action ", prev_action,
+                 " out of range");
     for (std::size_t i = 0; i < e; ++i)
       ep.x[ti][i] = ev[static_cast<std::size_t>(prev_action) * e + i];
   }

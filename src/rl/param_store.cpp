@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace yoso {
 
 ParamView ParamStore::alloc(std::size_t n, Rng& rng, double scale) {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "util/rng.h"
-#include "util/thread_annotations.h"
+#include "base/thread_annotations.h"
 
 namespace yoso {
 

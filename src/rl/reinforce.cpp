@@ -1,6 +1,8 @@
 #include "rl/reinforce.h"
 
 #include "obs/metrics.h"
+#include "rl/controller.h"
+#include "util/rng.h"
 
 namespace yoso {
 

@@ -6,6 +6,7 @@
 // the search") and an entropy bonus.
 
 #include "rl/controller.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace yoso {

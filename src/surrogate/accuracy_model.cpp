@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "arch/encoding.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "arch/ops.h"
 #include "util/rng.h"
 
 namespace yoso {

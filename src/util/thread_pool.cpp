@@ -3,8 +3,9 @@
 #include <cstdint>
 #include <limits>
 
+#include "base/contract.h"
+#include "base/thread_annotations.h"
 #include "obs/timebase.h"
-#include "util/contract.h"
 
 namespace yoso {
 
@@ -112,6 +113,10 @@ ThreadPool::ThreadPool(std::size_t workers)
       obs_busy_ns_(&obs::metrics_registry().counter("pool.worker_busy_ns")),
       obs_idle_ns_(&obs::metrics_registry().counter("pool.worker_idle_ns")),
       obs_depth_(&obs::metrics_registry().gauge("pool.inflight_indices")) {
+  // An absurd worker count is always an upstream bug: the pool is sized from
+  // hardware_concurrency or a small config knob, never from data.
+  YOSO_REQUIRE(workers <= 1024,
+               "ThreadPool: unreasonable worker count ", workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i + 1); });

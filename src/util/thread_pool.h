@@ -45,7 +45,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "util/thread_annotations.h"
+#include "base/thread_annotations.h"
 
 namespace yoso {
 

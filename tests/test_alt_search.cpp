@@ -1,10 +1,13 @@
-#include "core/alt_search.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
-
 #include <memory>
 
-#include <cmath>
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/alt_search.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/search.h"
 
 namespace yoso {
 namespace {

@@ -1,6 +1,7 @@
-#include "accel/area.h"
-
 #include <gtest/gtest.h>
+
+#include "accel/area.h"
+#include "accel/config.h"
 
 namespace yoso {
 namespace {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "accel/config.h"
 #include "accel/simulator.h"
+#include "arch/network.h"
 #include "arch/zoo.h"
 
 namespace yoso {

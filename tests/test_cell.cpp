@@ -1,6 +1,11 @@
-#include "nn/cell.h"
-
 #include <gtest/gtest.h>
+
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "nn/cell.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

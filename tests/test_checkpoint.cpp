@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
-
 #include <sstream>
 
+#include "rl/controller.h"
+#include "rl/param_store.h"
 #include "rl/reinforce.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

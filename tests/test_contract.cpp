@@ -1,17 +1,28 @@
-#include "util/contract.h"
-
 #include <gtest/gtest.h>
-
+#include <cstddef>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "accel/config.h"
 #include "accel/simulator.h"
+#include "arch/network.h"
 #include "arch/zoo.h"
+#include "base/contract.h"
+#include "core/extended_space.h"
 #include "core/reward.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "nn/im2col.h"
+#include "nn/metrics.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
 #include "predictor/gp.h"
+#include "predictor/perf_predictor.h"
+#include "surrogate/accuracy_model.h"
+#include "util/thread_pool.h"
 
 namespace yoso {
 namespace {
@@ -128,6 +139,110 @@ TEST(Contract, GpPredictRejectsDimensionMismatch) {
     EXPECT_NE(e.message().find("fitted dimension 2"), std::string::npos);
   }
 }
+
+
+// ---------------------------------------------------------------------------
+// Guards the contract-coverage lint rule (tools/yoso_lint.py) forced into
+// public entry points: every YOSO_REQUIRE/YOSO_CHECK it added gets a
+// violation case here.  (LstmController::step_forward and
+// GpRegressor::predict_rows also gained guards, but both are private
+// methods whose public callers always pass in-range arguments.)
+
+TEST(ContractCoverage, ThreadPoolRejectsAbsurdWorkerCount) {
+  EXPECT_THROW(ThreadPool pool(2048), ContractViolation);
+}
+
+TEST(ContractCoverage, Im2colRejectsNonPositiveKernelOrStride) {
+  const Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(im2col(x, 0, 1), ContractViolation);
+  EXPECT_THROW(im2col(x, 3, 0), ContractViolation);
+}
+
+TEST(ContractCoverage, Col2imRejectsNonPositiveKernelOrStride) {
+  const ColMatrix cols;
+  EXPECT_THROW(col2im(cols, {1, 1, 4, 4}, 0, 1), ContractViolation);
+  EXPECT_THROW(col2im(cols, {1, 1, 4, 4}, 3, 0), ContractViolation);
+}
+
+TEST(ContractCoverage, ConfusionMatrixAtIsBoundsChecked) {
+  ConfusionMatrix cm(3);
+  EXPECT_THROW(cm.at(3, 0), ContractViolation);
+  EXPECT_THROW(cm.at(0, -1), ContractViolation);
+  EXPECT_EQ(cm.at(2, 2), 0);
+}
+
+TEST(ContractCoverage, HistogramBucketIsBoundsChecked) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  obs::Histogram h{std::span<const double>(bounds)};  // 3 buckets
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_THROW(h.bucket(3), ContractViolation);
+}
+
+TEST(ContractCoverage, GemvRejectsNullOperands) {
+  const double a[4] = {1.0, 2.0, 3.0, 4.0};
+  const double x[2] = {1.0, 1.0};
+  EXPECT_THROW(kernels::gemv(a, x, nullptr, 2, 2), ContractViolation);
+}
+
+TEST(ContractCoverage, SgemmAbtRejectsOverflowingPanel) {
+  const float a[1] = {0.0f};
+  const float b[1] = {0.0f};
+  float c[1] = {0.0f};
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(kernels::sgemm_abt(a, b, c, 1, huge, 3), ContractViolation);
+}
+
+TEST(ContractCoverage, PackRowsRejectsOverflowingPanel) {
+  const double src[1] = {0.0};
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(kernels::pack_rows(src, huge, 3), ContractViolation);
+}
+
+TEST(ContractCoverage, GpPredictMeansPairRejectsNullOutput) {
+  GpRegressor gp;
+  const Matrix x = Matrix::from_rows({{0.0}, {1.0}, {2.0}});
+  const std::vector<double> y = {0.0, 1.0, 2.0};
+  gp.fit(x, y);
+  const double xq[1] = {0.5};
+  EXPECT_THROW(GpRegressor::predict_means_pair(gp, gp, xq, 1, nullptr,
+                                               nullptr, nullptr),
+               ContractViolation);
+}
+
+TEST(ContractCoverage, CodesignFeaturesIntoRejectsNullOutput) {
+  const ArchFeatures af;
+  const AcceleratorConfig config;
+  EXPECT_THROW(codesign_features_into(af, config, nullptr),
+               ContractViolation);
+}
+
+TEST(ContractCoverage, PredictBatchRejectsNullOutputs) {
+  PerformancePredictor predictor(default_skeleton());
+  const double features[1] = {0.0};
+  EXPECT_THROW(predictor.predict_latency_energy_batch(features, 1, nullptr,
+                                                      nullptr, nullptr),
+               ContractViolation);
+}
+
+TEST(ContractCoverage, SkeletonForRejectsOutOfRangeIndices) {
+  const ExtendedDesignSpace space;
+  EXPECT_THROW(space.skeleton_for(-1, 0), ContractViolation);
+  EXPECT_THROW(space.skeleton_for(0, 99), ContractViolation);
+}
+
+TEST(ContractCoverage, ExtendedFastEvaluatorRejectsZeroSamples) {
+  const ExtendedDesignSpace space;
+  const SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  EXPECT_THROW(ExtendedFastEvaluator(space, sim, 0, 7), ContractViolation);
+}
+
+#if !defined(NDEBUG) || defined(YOSO_ENABLE_DCHECKS)
+TEST(ContractCoverage, TensorAtIsBoundsCheckedInDebug) {
+  Tensor t({1, 1, 2, 2});
+  EXPECT_THROW(t.at(0, 0, 2, 0), ContractViolation);
+  EXPECT_THROW(t.at(-1, 0, 0, 0), ContractViolation);
+}
+#endif
 
 }  // namespace
 }  // namespace yoso

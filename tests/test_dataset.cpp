@@ -1,8 +1,9 @@
-#include "nn/dataset.h"
-
 #include <gtest/gtest.h>
-
 #include <map>
+
+#include "nn/dataset.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,6 +1,8 @@
-#include "core/design_space.h"
-
 #include <gtest/gtest.h>
+
+#include "accel/config.h"
+#include "core/design_space.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

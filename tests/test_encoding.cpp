@@ -1,6 +1,9 @@
-#include "arch/encoding.h"
-
 #include <gtest/gtest.h>
+
+#include "arch/encoding.h"
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

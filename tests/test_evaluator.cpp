@@ -1,8 +1,15 @@
-#include "core/evaluator.h"
-
 #include <gtest/gtest.h>
-
 #include <memory>
+
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "accel/tech.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
+#include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

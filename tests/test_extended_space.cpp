@@ -1,10 +1,13 @@
-#include "core/extended_space.h"
-
 #include <gtest/gtest.h>
-
 #include <memory>
-
 #include <set>
+
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/extended_space.h"
+#include "core/reward.h"
+#include "core/search.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,8 +1,9 @@
-#include "arch/genotype.h"
-
 #include <gtest/gtest.h>
-
 #include <set>
+
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

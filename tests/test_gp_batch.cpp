@@ -4,11 +4,16 @@
 // must reproduce the scalar per-candidate path exactly.
 
 #include <cmath>
+#include <gtest/gtest.h>
 #include <utility>
 #include <vector>
 
-#include <gtest/gtest.h>
-
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "accel/tech.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "linalg/matrix.h"
 #include "predictor/gp.h"
 #include "predictor/perf_predictor.h"
 #include "util/rng.h"

@@ -1,6 +1,8 @@
-#include "nn/im2col.h"
-
 #include <gtest/gtest.h>
+
+#include "nn/im2col.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -3,13 +3,21 @@
 // miniature scale, plus the real-NN path where the trainable HyperNet
 // stands in for the accuracy surrogate.
 
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
-
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "core/two_stage.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
 #include "nn/trainer.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,9 +1,11 @@
-#include "nn/layers.h"
-
-#include <gtest/gtest.h>
-
 #include <cmath>
 #include <functional>
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

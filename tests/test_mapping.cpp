@@ -1,6 +1,9 @@
-#include "accel/mapping.h"
-
 #include <gtest/gtest.h>
+
+#include "accel/config.h"
+#include "accel/mapping.h"
+#include "accel/tech.h"
+#include "arch/network.h"
 
 namespace yoso {
 namespace {

@@ -1,6 +1,11 @@
-#include "nn/metrics.h"
-
 #include <gtest/gtest.h>
+
+#include "arch/genotype.h"
+#include "nn/dataset.h"
+#include "nn/metrics.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,8 +1,10 @@
-#include "arch/network.h"
-
 #include <gtest/gtest.h>
 
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "arch/ops.h"
 #include "arch/zoo.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

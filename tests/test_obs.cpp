@@ -13,7 +13,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/contract.h"
+#include "base/contract.h"
 #include "util/thread_pool.h"
 
 namespace yoso {

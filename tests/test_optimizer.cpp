@@ -1,8 +1,9 @@
-#include "nn/optimizer.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
 
 namespace yoso {
 namespace {

@@ -3,16 +3,20 @@
 // shared-ExecContext contract, and the negative-reward regression on
 // SearchResult::best_fast_reward.
 
-#include <gtest/gtest.h>
-
-#include <memory>
-
 #include <cmath>
+#include <gtest/gtest.h>
+#include <memory>
 #include <vector>
 
+#include "accel/simulator.h"
+#include "arch/network.h"
 #include "core/alt_search.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
 #include "core/search.h"
 #include "util/exec_context.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,6 +1,7 @@
-#include "core/pareto.h"
-
 #include <gtest/gtest.h>
+
+#include "core/pareto.h"
+#include "core/reward.h"
 
 namespace yoso {
 namespace {

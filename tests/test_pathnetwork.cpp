@@ -1,8 +1,13 @@
-#include "nn/network.h"
-
-#include "nn/optimizer.h"
-
 #include <gtest/gtest.h>
+
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "nn/dataset.h"
+#include "nn/module.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

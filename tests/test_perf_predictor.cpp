@@ -1,11 +1,14 @@
-#include "predictor/perf_predictor.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
-
 #include <memory>
 
-#include <cmath>
-
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "accel/tech.h"
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "predictor/perf_predictor.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace yoso {

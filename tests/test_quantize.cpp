@@ -1,10 +1,13 @@
-#include "nn/quantize.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
-
+#include "nn/dataset.h"
+#include "nn/module.h"
+#include "nn/network.h"
+#include "nn/quantize.h"
+#include "nn/tensor.h"
 #include "nn/trainer.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

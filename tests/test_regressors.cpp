@@ -1,9 +1,11 @@
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
-
+#include "linalg/matrix.h"
 #include "predictor/gp.h"
 #include "predictor/models.h"
+#include "predictor/regressor.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace yoso {

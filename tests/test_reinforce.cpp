@@ -1,6 +1,8 @@
-#include "rl/reinforce.h"
-
 #include <gtest/gtest.h>
+
+#include "rl/controller.h"
+#include "rl/reinforce.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,8 +1,12 @@
-#include "core/report.h"
-
 #include <gtest/gtest.h>
-
 #include <memory>
+
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/report.h"
+#include "core/search.h"
 
 namespace yoso {
 namespace {

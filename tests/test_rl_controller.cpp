@@ -1,8 +1,9 @@
-#include "rl/controller.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include "rl/controller.h"
+#include "rl/param_store.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,7 +1,9 @@
-#include "accel/roofline.h"
-
 #include <gtest/gtest.h>
 
+#include "accel/config.h"
+#include "accel/roofline.h"
+#include "accel/tech.h"
+#include "arch/network.h"
 #include "arch/zoo.h"
 
 namespace yoso {

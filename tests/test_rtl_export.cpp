@@ -1,6 +1,7 @@
-#include "accel/rtl_export.h"
-
 #include <gtest/gtest.h>
+
+#include "accel/config.h"
+#include "accel/rtl_export.h"
 
 namespace yoso {
 namespace {

@@ -1,10 +1,13 @@
-#include "core/search.h"
-
 #include <gtest/gtest.h>
-
 #include <memory>
 
-#include "util/contract.h"
+#include "accel/simulator.h"
+#include "arch/network.h"
+#include "base/contract.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
+#include "core/search.h"
 
 namespace yoso {
 namespace {

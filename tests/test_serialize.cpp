@@ -1,6 +1,11 @@
-#include "core/serialize.h"
-
 #include <gtest/gtest.h>
+
+#include "accel/config.h"
+#include "arch/genotype.h"
+#include "arch/ops.h"
+#include "core/design_space.h"
+#include "core/serialize.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

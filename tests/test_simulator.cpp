@@ -1,10 +1,10 @@
-#include "accel/simulator.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
-
+#include "accel/config.h"
+#include "accel/simulator.h"
 #include "arch/zoo.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -2,14 +2,14 @@
 // that must hold at every point of the configuration space, not just the
 // handful of configs unit tests pin down.
 
-#include <gtest/gtest.h>
-
-#include <memory>
-
 #include <cmath>
+#include <gtest/gtest.h>
+#include <memory>
 #include <tuple>
 
+#include "accel/config.h"
 #include "accel/simulator.h"
+#include "arch/network.h"
 #include "arch/zoo.h"
 
 namespace yoso {

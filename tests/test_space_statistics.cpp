@@ -3,11 +3,14 @@
 // baseline draws from.
 
 #include <gtest/gtest.h>
-
 #include <map>
 
+#include "arch/genotype.h"
+#include "arch/network.h"
+#include "arch/ops.h"
 #include "core/design_space.h"
 #include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -1,8 +1,10 @@
-#include "surrogate/accuracy_model.h"
-
 #include <gtest/gtest.h>
 
+#include "arch/genotype.h"
+#include "arch/ops.h"
 #include "arch/zoo.h"
+#include "surrogate/accuracy_model.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace yoso {

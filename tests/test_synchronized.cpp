@@ -1,10 +1,10 @@
 // Runtime behaviour of the annotated synchronization primitives
-// (util/thread_annotations.h).  The compile-time half of the contract —
+// (base/thread_annotations.h).  The compile-time half of the contract —
 // -Wthread-safety rejecting unguarded access — is exercised by the
 // clang-gated `tsa.negative` ctest; here we pin down that the wrappers
 // actually exclude, wake and compose correctly at runtime.
 
-#include "util/thread_annotations.h"
+#include "base/thread_annotations.h"
 
 #include <gtest/gtest.h>
 

@@ -1,8 +1,8 @@
-#include "nn/tensor.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include "nn/tensor.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "util/contract.h"
+#include "base/contract.h"
 
 namespace yoso {
 namespace {

@@ -1,8 +1,10 @@
-#include "core/trace_io.h"
-
 #include <gtest/gtest.h>
-
 #include <sstream>
+
+#include "core/design_space.h"
+#include "core/search.h"
+#include "core/trace_io.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

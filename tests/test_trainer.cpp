@@ -1,8 +1,11 @@
-#include "nn/trainer.h"
-
+#include <cmath>
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include "arch/genotype.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
 
 namespace yoso {
 namespace {

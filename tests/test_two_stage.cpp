@@ -1,8 +1,12 @@
-#include "core/two_stage.h"
-
 #include <gtest/gtest.h>
-
 #include <memory>
+
+#include "accel/config.h"
+#include "accel/simulator.h"
+#include "core/design_space.h"
+#include "core/evaluator.h"
+#include "core/reward.h"
+#include "core/two_stage.h"
 
 namespace yoso {
 namespace {

@@ -1,8 +1,8 @@
-// Fixture: the allow() escape hatch is budgeted, not free.  Six
+// Fixture: the allow() escape hatch is budgeted, not free.  Four
 // suppressions live here; the self-test asserts that the default budget of
-// five trips (the sixth allow must fail the gate) while an explicit budget
-// of six accepts the same tree.  Scanned only by the allow-budget self-test,
-// not by the per-engine fixture loop.
+// three trips (the fourth allow must fail the gate) while an explicit
+// budget of four accepts the same tree.  Scanned only by the allow-budget
+// self-test, not by the per-engine fixture loop.
 
 namespace yoso {
 
@@ -10,15 +10,13 @@ struct Blob {
   int value = 0;
 };
 
-Blob* g_slots[6];
+Blob* g_slots[4];
 
 void fill_slots() {
   g_slots[0] = new Blob;  // yoso-lint: allow(naked-new)
   g_slots[1] = new Blob;  // yoso-lint: allow(naked-new)
   g_slots[2] = new Blob;  // yoso-lint: allow(naked-new)
   g_slots[3] = new Blob;  // yoso-lint: allow(naked-new)
-  g_slots[4] = new Blob;  // yoso-lint: allow(naked-new)
-  g_slots[5] = new Blob;  // yoso-lint: allow(naked-new)
 }
 
 }  // namespace yoso

@@ -1,0 +1,39 @@
+// Fixture: the contract-coverage rule.  Public entry points whose raw
+// pointer / index parameters reach indexing without a
+// YOSO_REQUIRE/YOSO_CHECK/YOSO_DCHECK guard naming them.
+//
+// The one-line definition is catchable by the regex tier (no tag); the
+// multi-line body needs function-span analysis, so only the AST tiers may
+// catch it — if the regex engine ever starts matching it, the fixture
+// stops proving the AST engines' superiority and the self-test fails.
+#include "base/contract.h"
+
+namespace yoso {
+
+double pick(const double* xs, std::size_t i) { return xs[i]; }  // expect-lint: contract-coverage
+
+double nth_entry(const double* vals, std::size_t i) {
+  double v = 0.0;
+  v = vals[i];  // expect-lint[ast]: contract-coverage
+  return v;
+}
+
+// Not violations below this line. -----------------------------------------
+
+// Guarded: the contract names both parameters before the access.
+double nth_checked(const double* vals, std::size_t i, std::size_t n) {
+  YOSO_REQUIRE(vals != nullptr && i < n, "nth_checked: bad index ", i);
+  return vals[i];
+}
+
+// Optional out-parameter: the explicit nullptr test IS the contract.
+void maybe_store(double* out, double v) {
+  if (out != nullptr) *out = v;
+}
+
+// File-local helpers are not public entry points.
+static double pick_local(const double* xs, std::size_t i) { return xs[i]; }
+
+double pick_first_local(const double* xs) { return pick_local(xs, 0); }
+
+}  // namespace yoso

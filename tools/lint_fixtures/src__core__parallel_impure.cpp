@@ -30,6 +30,7 @@ double record_and_scale(double x) {
 }  // namespace
 
 double run_batch(Pool& pool, double* out, unsigned long n) {
+  if (out == nullptr) return 0.0;
   pool.parallel_for(0, n, [&](unsigned long i) {
     g_eval_count += 1;               // expect-lint[ast]: parallel-purity
     out[i] = record_and_scale(1.0);  // expect-lint[ast]: parallel-purity
@@ -40,6 +41,7 @@ double run_batch(Pool& pool, double* out, unsigned long n) {
 // Not a violation: the body writes only caller-owned slots indexed by i —
 // the canonical deterministic pattern the evaluator uses.
 double run_batch_pure(Pool& pool, double* out, unsigned long n) {
+  if (out == nullptr) return 0.0;
   pool.parallel_for(0, n, [&](unsigned long i) {
     out[i] = static_cast<double>(i) * 0.5;
   });

@@ -1,0 +1,14 @@
+// Fixture: the layer-dag rule.  The filename maps this to src/util/, and
+// util sits below core in tools/yoso_layers.json, so the include is an
+// upward dependency.  Include parsing needs no AST — every engine tier
+// must catch it, which is why the expectation carries no [ast] tag.
+//
+// FinalistPool is referenced below so the include-hygiene rule cannot also
+// fire (the fixture isolates layer-dag).
+#include "core/search.h"  // expect-lint: layer-dag
+
+namespace yoso {
+
+std::size_t pool_capacity_probe(const FinalistPool& pool);
+
+}  // namespace yoso
