@@ -20,6 +20,11 @@
 // that threading never becomes a pessimization (on multi-core hosts it is a
 // speedup; the tolerance keeps single-core runners honest).
 //
+// `--emit-profile [PATH]` runs predictor construction plus one memo-cold
+// pass with tracing enabled and writes the merged span aggregates as the
+// span-cost profile yoso-lint's perf rules consume (the committed copy
+// lives at tools/yoso_hot_profile.json; DESIGN.md §15).
+//
 // Part 2 — inference batch-size sweep: the paper evaluates single-image
 // (batch-1) edge inference.  Server-style deployment batches images,
 // amortising weight traffic; this sweeps the batch size for the Table-2
@@ -28,8 +33,10 @@
 // shift once weights stop dominating.
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -201,12 +208,65 @@ bool bench_candidate_throughput(yoso::BenchJson& json, bool smoke) {
   return true;
 }
 
+/// `--emit-profile`: one instrumented predictor build + memo-cold pass,
+/// span aggregates written as the yoso-lint hot-set profile.
+int emit_profile(const std::string& path) {
+  using namespace yoso;
+  obs::set_enabled(true);
+  DesignSpace space;
+  const NetworkSkeleton skeleton = default_skeleton();
+  SystolicSimulator sim({}, SimFidelity::kAnalytical);
+  // Predictor construction runs Step-1 collection and the GP fits under
+  // tracing, so step1.* / sim.* / gp.fit land in the profile alongside the
+  // eval.* spans from the batched pass below.
+  FastEvaluator fast(space, skeleton, sim,
+                     {.predictor_samples = 60,
+                      .seed = 11,
+                      .exec = ExecContext::create(bench_threads())});
+  Rng rng(29);
+  constexpr std::size_t kProfileStream = 256;
+  std::vector<CandidateDesign> stream;
+  stream.reserve(kProfileStream);
+  for (std::size_t i = 0; i < kProfileStream; ++i)
+    stream.push_back(space.random_candidate(rng));
+  double sink = 0.0;
+  (void)batched_cand_per_s(fast, stream, sink);
+
+  const std::vector<obs::SpanAggregate> spans = obs::summarize_spans();
+  obs::set_enabled(false);
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "emit-profile: cannot open " << path << " for writing\n";
+    return 1;
+  }
+  os << "{\n  \"tool\": \"bench_throughput\",\n  \"schema\": 1,\n"
+     << "  \"spans\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::SpanAggregate& s = spans[i];
+    os << "    {\"name\": \"" << s.name << "\", \"count\": " << s.count
+       << ", \"total_ns\": " << s.total_ns << ", \"self_ns\": " << s.self_ns
+       << "}" << (i + 1 < spans.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::cout << "emit-profile: wrote " << spans.size() << " span(s) to "
+            << path << "  [checksum " << TextTable::fmt(sink, 1) << "]\n";
+  for (const obs::SpanAggregate& s : spans)
+    std::cout << "  " << s.name << "  count " << s.count << "  self "
+              << s.self_ns << " ns\n";
+  return os ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace yoso;
   const bool smoke =
       argc > 1 && std::string_view(argv[1]) == std::string_view("--smoke");
+  if (argc > 1 && std::string_view(argv[1]) ==
+                      std::string_view("--emit-profile")) {
+    return emit_profile(argc > 2 ? argv[2] : "yoso_hot_profile.json");
+  }
   Stopwatch sw;
   bench_banner("Extension", smoke ? "candidate-throughput smoke"
                                   : "candidate-throughput + batch-size sweep");

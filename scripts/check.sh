@@ -6,6 +6,12 @@
 #   ./scripts/check.sh --fast    # skip the sanitizer stage
 #   ./scripts/check.sh --tsan    # additionally run the TSan stage
 #
+# Each gate announces itself when it starts and the script prints a
+# per-gate wall-time summary on exit (success or failure), so a slow or
+# failing stage is identifiable at a glance.  A stale or missing
+# compile_commands.json is regenerated automatically before the lint gate
+# instead of failing fast and making the user re-run cmake by hand.
+#
 # Build trees are kept under build-check-* so the developer's own build/ is
 # never clobbered.
 set -euo pipefail
@@ -23,14 +29,61 @@ for arg in "$@"; do
   esac
 done
 
-step() { printf '\n==== %s ====\n' "$*"; }
+GATE_NAMES=()
+GATE_SECS=()
+CURRENT_GATE=""
+GATE_T0=0
 
-step "1/4 configure + build (-Werror) and unit tests"
+gate_begin() {
+  CURRENT_GATE="$1"
+  GATE_T0=$SECONDS
+  printf '\n==== gate: %s ====\n' "$1"
+}
+
+gate_end() {
+  GATE_NAMES+=("$CURRENT_GATE")
+  GATE_SECS+=($((SECONDS - GATE_T0)))
+  CURRENT_GATE=""
+}
+
+print_summary() {
+  local status=$?
+  printf '\n---- gate wall-time summary ----\n'
+  local i
+  for i in "${!GATE_NAMES[@]}"; do
+    printf '  %-38s %4ds\n' "${GATE_NAMES[$i]}" "${GATE_SECS[$i]}"
+  done
+  if [ -n "$CURRENT_GATE" ]; then
+    printf '  %-38s %4ds  (FAILED here)\n' "$CURRENT_GATE" \
+      $((SECONDS - GATE_T0))
+  fi
+  printf '  %-38s %4ds\n' "total" "$SECONDS"
+  if [ "$status" -eq 0 ]; then
+    printf '\nAll checks passed.\n'
+  else
+    printf '\nFAILED (exit %d).\n' "$status"
+  fi
+}
+trap print_summary EXIT
+
+gate_begin "configure + build (-Werror)"
 cmake -B build-check -S . -DYOSO_WERROR=ON
 cmake --build build-check -j "$JOBS"
-ctest --test-dir build-check -j "$JOBS" --output-on-failure
+gate_end
 
-step "2/4 yoso-lint (tree + self-test + standalone headers) + format + docs gates"
+gate_begin "unit tests (ctest)"
+ctest --test-dir build-check -j "$JOBS" --output-on-failure
+gate_end
+
+gate_begin "yoso-lint (tree + self-test + headers)"
+# A compile database older than the top-level CMakeLists.txt records flags
+# the tree no longer builds with; reconfigure to refresh it rather than
+# letting the lint gate fail with a tool error.
+DB=build-check/compile_commands.json
+if [ ! -f "$DB" ] || [ "$DB" -ot CMakeLists.txt ]; then
+  echo "compile database missing or stale — regenerating via cmake"
+  cmake -B build-check -S . -DYOSO_WERROR=ON
+fi
 # yoso-lint splits its exit status: 0 clean, 1 violations in the tree,
 # 2 tool error (missing/stale compile database, broken yoso_layers.json,
 # unusable engine).  --require-fresh-db makes staleness a tool error here
@@ -39,7 +92,7 @@ step "2/4 yoso-lint (tree + self-test + standalone headers) + format + docs gate
 # not run" never masquerade as each other.
 LINT_RC=0
 python3 tools/yoso_lint.py --root . \
-  --compile-db build-check/compile_commands.json --require-fresh-db \
+  --compile-db "$DB" --require-fresh-db \
   --check-headers --cxx "${CXX:-c++}" \
   --json build-check/lint_report.json || LINT_RC=$?
 case "$LINT_RC" in
@@ -54,27 +107,31 @@ case "$LINT_RC" in
     echo "with 'cmake -B build-check -S .' and retry." >&2
     exit "$LINT_RC" ;;
 esac
+gate_end
+
+gate_begin "format + docs gates"
 python3 tools/yoso_format.py --root . --check --builtin-only
 python3 tools/yoso_docs_check.py .
+gate_end
 
 if [ "$FAST" -eq 1 ]; then
-  step "skipping sanitizer stages (--fast)"
+  printf '\n(sanitizer gates skipped: --fast)\n'
 else
-  step "3/4 ASan+UBSan build and unit tests"
+  gate_begin "ASan+UBSan build and unit tests"
   cmake -B build-check-asan -S . -DYOSO_SANITIZE=address,undefined
   cmake --build build-check-asan -j "$JOBS"
   ctest --test-dir build-check-asan -j "$JOBS" --output-on-failure
+  gate_end
 
   if [ "$TSAN" -eq 1 ]; then
-    step "4/4 TSan build and threaded tests (--tsan)"
+    gate_begin "TSan build and threaded tests"
     cmake -B build-check-tsan -S . -DYOSO_SANITIZE=thread
     cmake --build build-check-tsan -j "$JOBS"
     # The threaded surfaces: pool, batched evaluator, parallel drivers.
     ctest --test-dir build-check-tsan -j "$JOBS" --output-on-failure \
       -R 'ThreadPool|Parallel|Evaluator|Batch'
+    gate_end
   else
-    step "4/4 TSan stage skipped (pass --tsan to enable)"
+    printf '\n(TSan gate skipped: pass --tsan to enable)\n'
   fi
 fi
-
-printf '\nAll checks passed.\n'

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Fast pre-commit gate: formatting plus the dependency-free lint tiers.
+#
+#   ./scripts/precommit.sh
+#
+# Runs in well under a second-per-tool and needs no build tree: the builtin
+# formatting subset, then yoso-lint's regex and semantic engines (the
+# libclang tier needs a compile database — that is scripts/check.sh's and
+# CI's job, not this hook's).  Wire it up with:
+#
+#   ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "precommit: format.check (builtin subset)"
+python3 tools/yoso_format.py --root . --check --builtin-only
+
+echo "precommit: yoso-lint (regex tier)"
+python3 tools/yoso_lint.py --root . --engine regex
+
+echo "precommit: yoso-lint (semantic tier)"
+python3 tools/yoso_lint.py --root . --engine semantic
+
+echo "precommit: ok"

@@ -90,6 +90,7 @@ SimulationResult SystolicSimulator::simulate(
                config.pe_rows, "x", config.pe_cols);
   SimulationResult result;
   result.batch = batch;
+  result.layers.reserve(layers.size());
   const double e_gbuf = tech_.gbuf_energy_per_byte(config.g_buf_kb);
   const double b = static_cast<double>(batch);
 

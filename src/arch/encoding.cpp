@@ -9,6 +9,7 @@ namespace yoso {
 namespace {
 
 void append_cell_steps(std::vector<ActionStep>& steps, const char* cell_name) {
+  steps.reserve(steps.size() + 4 * static_cast<std::size_t>(kInteriorNodes));
   for (int n = 0; n < kInteriorNodes; ++n) {
     const int node_index = n + 2;
     const std::string prefix =
@@ -21,6 +22,7 @@ void append_cell_steps(std::vector<ActionStep>& steps, const char* cell_name) {
 }
 
 void append_cell_actions(std::vector<int>& actions, const CellGenotype& cell) {
+  actions.reserve(actions.size() + 4 * cell.nodes.size());
   for (const NodeSpec& spec : cell.nodes) {
     actions.push_back(spec.input_a);
     actions.push_back(spec.input_b);

@@ -103,6 +103,9 @@ std::vector<Layer> extract_layers(const Genotype& g,
     throw std::invalid_argument("extract_layers: empty skeleton");
 
   std::vector<Layer> layers;
+  // Stem + per-cell (2 preprocess + 2 ops per interior node) + GAP + FC.
+  layers.reserve(3 + skeleton.cells.size() *
+                         (2 + 2 * static_cast<std::size_t>(kInteriorNodes)));
 
   // Stem: 3x3 conv input_channels -> stem_channels.
   Layer stem;

@@ -109,6 +109,7 @@ std::vector<EvalResult> FastEvaluator::evaluate_batch(
   // Misses: first occurrence of every key not already cached, in batch
   // order.  Only these hit the pipeline; duplicates are computed once.
   std::vector<std::size_t> miss;
+  miss.reserve(n);
   std::unordered_map<std::string_view, std::size_t> miss_slot;
   for (std::size_t i = 0; i < n; ++i) {
     if (hit[i] != nullptr) continue;

@@ -51,6 +51,7 @@ NetworkSkeleton ExtendedDesignSpace::skeleton_for(int depth_index,
   NetworkSkeleton s = default_skeleton();
   s.cells.clear();
   const int d = normals_per_stage_[static_cast<std::size_t>(depth_index)];
+  s.cells.reserve(2 * static_cast<std::size_t>(d + 1));
   for (int stage = 0; stage < 2; ++stage) {
     for (int i = 0; i < d; ++i) s.cells.push_back(CellKind::kNormal);
     s.cells.push_back(CellKind::kReduction);
@@ -194,6 +195,10 @@ ExtendedSearchResult ExtendedSearch::run(
     }
   };
 
+  if (options_.trace_every != 0)
+    result.trace.reserve(
+        (options_.iterations + options_.trace_every - 1) /
+        options_.trace_every);
   for (std::size_t it = 0; it < options_.iterations; ++it) {
     Episode ep = trainer.propose(rng);
     const ExtendedCandidate candidate = space_.decode(ep.actions);

@@ -39,6 +39,14 @@ std::vector<double> SearchLoop::submit(
   const std::vector<EvalResult> evals = fast_.evaluate_batch(batch);
   ThreadRoleGuard coordinator(role_);
   std::vector<double> rewards(batch.size());
+  if (options_.trace_every != 0 &&
+      result_.trace.size() + batch.size() > result_.trace.capacity()) {
+    // Geometric growth by hand: reserve() alone would force exact-fit
+    // reallocation on every batch.
+    result_.trace.reserve(
+        std::max(result_.trace.size() + batch.size(),
+                 2 * result_.trace.capacity()));
+  }
   for (std::size_t j = 0; j < batch.size(); ++j) {
     const double reward = options_.reward.compute(evals[j]);
     rewards[j] = reward;

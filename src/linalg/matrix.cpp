@@ -132,16 +132,22 @@ Cholesky::Cholesky(const Matrix& a, double jitter) {
 }
 
 std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
+  std::vector<double> y(l_.rows());
+  solve_lower_into(b, y.data());
+  return y;
+}
+
+void Cholesky::solve_lower_into(std::span<const double> b,
+                                double* out) const {
   const std::size_t n = l_.rows();
-  YOSO_REQUIRE(b.size() == n, "Cholesky::solve_lower: b has ", b.size(),
+  YOSO_REQUIRE(b.size() == n, "Cholesky::solve_lower_into: b has ", b.size(),
                " entries, factor is ", n, "x", n);
-  std::vector<double> y(n);
+  YOSO_REQUIRE(out != nullptr, "Cholesky::solve_lower_into: null output");
   const double* ld = l_.data().data();
   for (std::size_t i = 0; i < n; ++i) {
-    const double sum = b[i] - kernels::dot(ld + i * n, y.data(), i);
-    y[i] = sum / l_(i, i);
+    const double sum = b[i] - kernels::dot(ld + i * n, out, i);
+    out[i] = sum / l_(i, i);
   }
-  return y;
 }
 
 std::vector<double> Cholesky::solve_lower_transposed(

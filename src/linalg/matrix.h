@@ -74,6 +74,11 @@ class Cholesky {
   /// Solves L y = b (forward substitution).
   std::vector<double> solve_lower(std::span<const double> b) const;
 
+  /// Allocation-free forward substitution: writes n values to `out`.
+  /// In-place safe (`out` may alias `b.data()`): b[i] is consumed before
+  /// y[i] is written and the dot product only reads y[0..i).
+  void solve_lower_into(std::span<const double> b, double* out) const;
+
   /// Solves L^T x = y (backward substitution).
   std::vector<double> solve_lower_transposed(std::span<const double> y) const;
 

@@ -111,14 +111,15 @@ double PathNetwork::evaluate(const Genotype& path, const Dataset& ds,
   std::size_t correct = 0, seen = 0;
   std::size_t pos = 0;
   int batches = 0;
+  std::vector<std::size_t> idx;
+  std::vector<int> labels;  // resized and overwritten by gather_batch
   while (pos < ds.size() &&
          (max_batches < 0 || batches < max_batches)) {
     const std::size_t take =
         std::min<std::size_t>(static_cast<std::size_t>(batch_size),
                               ds.size() - pos);
-    std::vector<std::size_t> idx(take);
+    idx.resize(take);
     for (std::size_t i = 0; i < take; ++i) idx[i] = pos + i;
-    std::vector<int> labels;
     const Tensor batch = gather_batch(ds, idx, &labels);
     const Tensor logits = forward(path, batch);
     correct += static_cast<std::size_t>(count_correct(logits, labels));

@@ -81,6 +81,7 @@ std::vector<EpochLog> run_training(PathNetwork& net, const Dataset& train,
       batches_per_epoch * static_cast<std::size_t>(options.epochs);
 
   std::vector<EpochLog> logs;
+  logs.reserve(static_cast<std::size_t>(options.epochs));
   std::size_t step = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     YOSO_TRACE_SPAN("nn.epoch");

@@ -114,11 +114,11 @@ void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
   std::vector<double> kbuf(buf_rows * n);
   for (std::size_t lo = 0; lo < nq; lo += kChunk) {
     const std::size_t cnt = std::min(kChunk, nq - lo);
-    // Standardize with the exact per-row path single predict() uses.
+    // Standardize with the exact per-row arithmetic single predict() uses.
     for (std::size_t r = 0; r < cnt; ++r) {
-      const std::vector<double> row = scaler_.transform_row(
-          std::span<const double>(x + (lo + r) * dim, dim));
-      std::copy(row.begin(), row.end(), xs.begin() + r * dim);
+      scaler_.transform_row_into(
+          std::span<const double>(x + (lo + r) * dim, dim),
+          xs.data() + r * dim);
     }
     kernels::pairwise_sq_dists(xs.data(), cnt, packed_train_, kbuf.data(),
                                pool);
@@ -129,10 +129,11 @@ void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
                                                     n, scale,
                                                     hp_.signal_variance);
       if (var != nullptr) {
-        // var = k(x,x) - k*^T K^-1 k*
-        const std::vector<double> v =
-            chol_->solve_lower(std::span<const double>(krow, n));
-        const double reduce = kernels::dot(v.data(), v.data(), v.size());
+        // var = k(x,x) - k*^T K^-1 k*; the solve overwrites krow in place
+        // (safe: forward substitution consumes krow[i] before writing it),
+        // which keeps the hot per-row lambda allocation-free.
+        chol_->solve_lower_into(std::span<const double>(krow, n), krow);
+        const double reduce = kernels::dot(krow, krow, n);
         var[lo + r] = std::max(
             0.0, hp_.signal_variance + hp_.noise_variance - reduce);
       }
@@ -203,9 +204,9 @@ void GpRegressor::predict_means_pair(const GpRegressor& a,
     // imply bitwise-identical scaler state, so this matches what model b's
     // own predict path would compute.
     for (std::size_t r = 0; r < cnt; ++r) {
-      const std::vector<double> row = a.scaler_.transform_row(
-          std::span<const double>(x + (lo + r) * dim, dim));
-      std::copy(row.begin(), row.end(), xs.begin() + r * dim);
+      a.scaler_.transform_row_into(
+          std::span<const double>(x + (lo + r) * dim, dim),
+          xs.data() + r * dim);
     }
     kernels::pairwise_sq_dists(xs.data(), cnt, a.packed_train_, d2.data(),
                                pool);

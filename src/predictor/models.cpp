@@ -190,13 +190,14 @@ void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
   if (x.rows() != y.size() || x.rows() == 0)
     throw std::invalid_argument("RandomForestRegressor::fit: bad shapes");
   trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(num_trees_));
   Rng rng(seed_);
   const int subset =
       std::max(1, static_cast<int>(x.cols()) * 2 / 3);
+  // Bootstrap buffers are fully overwritten per tree; allocate them once.
+  Matrix bx(x.rows(), x.cols());
+  std::vector<double> by(x.rows());
   for (int t = 0; t < num_trees_; ++t) {
-    // Bootstrap sample.
-    Matrix bx(x.rows(), x.cols());
-    std::vector<double> by(x.rows());
     for (std::size_t r = 0; r < x.rows(); ++r) {
       const std::size_t src = rng.uniform_index(x.rows());
       for (std::size_t c = 0; c < x.cols(); ++c) bx(r, c) = x(src, c);

@@ -64,10 +64,10 @@ std::vector<PerfSample> collect_samples(std::size_t count,
   // Serial phase: all RNG draws, in the same per-sample order as the old
   // fully-serial loop (genotype first, then the config actions).
   std::vector<PerfSample> samples(count);
+  std::vector<int> actions(ConfigSpace::kActionCount);  // overwritten per sample
   for (std::size_t i = 0; i < count; ++i) {
     PerfSample& s = samples[i];
     s.genotype = random_genotype(rng);
-    std::vector<int> actions(ConfigSpace::kActionCount);
     for (int a = 0; a < ConfigSpace::kActionCount; ++a)
       actions[static_cast<std::size_t>(a)] =
           rng.uniform_int(0, space.cardinality(a) - 1);

@@ -48,9 +48,19 @@ std::vector<double> Standardizer::transform_row(
   if (x.size() != mean_.size())
     throw std::invalid_argument("Standardizer: dimension mismatch");
   std::vector<double> out(x.size());
+  transform_row_into(x, out.data());
+  return out;
+}
+
+void Standardizer::transform_row_into(std::span<const double> x,
+                                      double* out) const {
+  if (!fitted()) throw std::logic_error("Standardizer: not fitted");
+  if (x.size() != mean_.size())
+    throw std::invalid_argument("Standardizer: dimension mismatch");
+  if (out == nullptr)
+    throw std::invalid_argument("Standardizer: null output buffer");
   for (std::size_t c = 0; c < x.size(); ++c)
     out[c] = (x[c] - mean_[c]) / std_[c];
-  return out;
 }
 
 }  // namespace yoso

@@ -35,6 +35,8 @@ class Standardizer {
   void fit(const Matrix& x);
   Matrix transform(const Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> x) const;
+  /// Allocation-free variant: writes x.size() standardized values to `out`.
+  void transform_row_into(std::span<const double> x, double* out) const;
   bool fitted() const { return !mean_.empty(); }
 
  private:

@@ -1,0 +1,11 @@
+// Fixture CLI stub for yoso_docs_check --self-test (never compiled).
+//
+// Flags:
+//   --seed N     RNG seed
+//   --threads N  worker count
+int parse_args(const char* key_str) {
+  const char* key = key_str;
+  if (key == "seed") return 1;
+  if (key == "threads") return 2;
+  return 0;
+}

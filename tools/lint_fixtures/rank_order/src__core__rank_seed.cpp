@@ -1,0 +1,31 @@
+// Fixture: profile-guided ranking.  Two hot-alloc violations under two
+// different profiled spans, deliberately in ASCENDING cost order in the
+// file: step1.fit_gp is the cheapest profiled span and sim.network the
+// most expensive, so a rank-sorted report must REVERSE file order.  The
+// self-test locks this (and the v4 JSON schema) against the committed
+// tools/yoso_hot_profile.json.
+#include <memory>
+
+#define YOSO_TRACE_SPAN(name) (void)0
+
+namespace yoso {
+
+void consume_rank_fx(int);
+
+void cheap_span_loop_fx(int n) {
+  YOSO_TRACE_SPAN("step1.fit_gp");
+  for (int i = 0; i < n; ++i) {
+    auto p = std::make_unique<int>(i);
+    consume_rank_fx(*p);
+  }
+}
+
+void expensive_span_loop_fx(int n) {
+  YOSO_TRACE_SPAN("sim.network");
+  for (int i = 0; i < n; ++i) {
+    auto p = std::make_unique<int>(i);
+    consume_rank_fx(*p);
+  }
+}
+
+}  // namespace yoso
