@@ -49,6 +49,7 @@
 #include "core/evaluator.h"
 #include "core/two_stage.h"
 #include "obs/trace.h"
+#include "predictor/gp.h"
 #include "util/exec_context.h"
 #include "util/rng.h"
 
@@ -231,6 +232,21 @@ int emit_profile(const std::string& path) {
     stream.push_back(space.random_candidate(rng));
   double sink = 0.0;
   (void)batched_cand_per_s(fast, stream, sink);
+
+  // Same build + memo-cold pass on the sparse predictor backend, plus a few
+  // online refinements, so the gp.sparse_fit / gp.sparse_select /
+  // gp.sparse_update spans land in the profile and the perf-lint hot set
+  // covers the sparse paths too.
+  FastEvaluator sparse_fast(space, skeleton, sim,
+                            {.predictor_samples = 60,
+                             .seed = 11,
+                             .predictor_backend = GpBackend::kSparse,
+                             .inducing_points = 32,
+                             .exec = ExecContext::create(bench_threads())});
+  (void)batched_cand_per_s(sparse_fast, stream, sink);
+  AccurateEvaluator accurate(skeleton, sim);
+  for (std::size_t i = 0; i < 4; ++i)
+    (void)sparse_fast.refine(stream[i], accurate.evaluate(stream[i]));
 
   const std::vector<obs::SpanAggregate> spans = obs::summarize_spans();
   obs::set_enabled(false);

@@ -10,6 +10,11 @@
 //   --reward     balanced | energy | latency            [balanced]
 //   --iterations N                                      [2000]
 //   --samples    N   (GP training samples, Step 1)      [500]
+//   --predictor  exact | sparse  (GP backend, Step 1)   [exact]
+//   --inducing-points N  (sparse GP inducing rows)      [512]
+//   --refine-every N  (fold an accurate result into the
+//                      sparse GPs every N iterations;
+//                      0 = off, requires --predictor sparse) [0]
 //   --top-n      N   (finalists for Step-3 rerank)      [10]
 //   --threads    N   (evaluation threads, 0 = all HW)   [1]
 //   --batch      N   (candidates evaluated per round)   [8]
@@ -49,6 +54,7 @@
 #include "obs/metrics.h"
 #include "obs/timebase.h"
 #include "obs/trace.h"
+#include "predictor/gp.h"
 #include "util/exec_context.h"
 #include "util/table.h"
 
@@ -61,6 +67,9 @@ struct CliOptions {
   std::string reward = "balanced";
   std::size_t iterations = 2000;
   std::size_t samples = 500;
+  std::string predictor = "exact";
+  std::size_t inducing_points = 512;
+  std::size_t refine_every = 0;
   std::size_t top_n = 10;
   std::size_t threads = 1;
   // Fixed default, deliberately NOT derived from --threads: the search
@@ -102,6 +111,9 @@ CliOptions parse_args(int argc, char** argv) {
       else if (key == "reward") opt.reward = value;
       else if (key == "iterations") opt.iterations = std::stoul(value);
       else if (key == "samples") opt.samples = std::stoul(value);
+      else if (key == "predictor") opt.predictor = value;
+      else if (key == "inducing-points") opt.inducing_points = std::stoul(value);
+      else if (key == "refine-every") opt.refine_every = std::stoul(value);
       else if (key == "top-n") opt.top_n = std::stoul(value);
       else if (key == "threads") opt.threads = std::stoul(value);
       else if (key == "batch") opt.batch = std::stoul(value);
@@ -148,6 +160,11 @@ int main(int argc, char** argv) {
   options.seed = cli.seed;
   options.batch_size = cli.batch;
   options.observe = observe;
+  if (cli.predictor == "exact") options.predictor = GpBackend::kExact;
+  else if (cli.predictor == "sparse") options.predictor = GpBackend::kSparse;
+  else usage_error("unknown predictor backend '" + cli.predictor + "'");
+  options.inducing_points = cli.inducing_points;
+  options.refine_every = cli.refine_every;
   // Reject unusable option combinations before paying for Step 1: the
   // contracts live in SearchOptions::validate(), shared with every driver.
   try {
@@ -171,6 +188,8 @@ int main(int argc, char** argv) {
   FastEvaluator fast(space, skeleton, simulator,
                      {.predictor_samples = cli.samples,
                       .seed = cli.seed,
+                      .predictor_backend = options.predictor,
+                      .inducing_points = options.inducing_points,
                       .exec = exec});
   AccurateEvaluator accurate(skeleton, SystolicSimulator({},
                                                          SimFidelity::kCycleLevel),

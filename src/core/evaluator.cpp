@@ -8,6 +8,7 @@
 #include "core/design_space.h"
 #include "core/reward.h"
 #include "obs/trace.h"
+#include "predictor/gp.h"
 #include "predictor/perf_predictor.h"
 #include "util/exec_context.h"
 #include "util/rng.h"
@@ -41,7 +42,8 @@ FastEvaluator::FastEvaluator(const DesignSpace& space,
                              const SystolicSimulator& simulator,
                              FastEvaluatorOptions options)
     : accuracy_(skeleton),
-      predictor_(skeleton),
+      predictor_(skeleton, options.predictor_backend,
+                 options.inducing_points),
       exec_(options.exec != nullptr ? std::move(options.exec)
                                     : ExecContext::serial()) {
   Rng rng(options.seed);
@@ -52,11 +54,27 @@ FastEvaluator::FastEvaluator(const DesignSpace& space,
 }
 
 FastEvaluator::FastEvaluator(const NetworkSkeleton& skeleton,
-                             const std::vector<PerfSample>& samples)
+                             const std::vector<PerfSample>& samples,
+                             GpBackend predictor_backend,
+                             std::size_t inducing_points)
     : accuracy_(skeleton),
-      predictor_(skeleton),
+      predictor_(skeleton, predictor_backend, inducing_points),
       exec_(ExecContext::serial()) {
   predictor_.fit(samples);
+}
+
+bool FastEvaluator::refine(const CandidateDesign& candidate,
+                           const EvalResult& accurate) {
+  if (!predictor_.refine(candidate.genotype, candidate.config,
+                         accurate.latency_ms, accurate.energy_mj))
+    return false;
+  // Every memoized latency/energy prediction predates the refinement; a
+  // stale hit would silently diverge from what evaluate() now computes, so
+  // the whole cache goes.  Refinements are infrequent (every --refine-every
+  // iterations) and misses repopulate it, so the cost is a short warm-up.
+  clear_cache();
+  obs::counter_add("eval.refinements", 1);
+  return true;
 }
 
 void FastEvaluator::set_exec_context(ExecContextPtr exec) {

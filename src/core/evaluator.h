@@ -52,6 +52,7 @@
 #include "base/thread_annotations.h"
 #include "core/design_space.h"
 #include "core/reward.h"
+#include "predictor/gp.h"
 #include "predictor/perf_predictor.h"
 #include "surrogate/accuracy_model.h"
 #include "util/exec_context.h"
@@ -75,6 +76,17 @@ class Evaluator {
   /// A no-op for evaluators without a parallel batch path.
   virtual void set_exec_context(ExecContextPtr /*exec*/) {}
 
+  /// Online-refinement hook: folds one *accurate* result for `candidate`
+  /// back into the evaluator's internal models, so later evaluations are
+  /// anchored by ground truth collected mid-search.  Returns true when the
+  /// result was absorbed; the base implementation (and any evaluator with
+  /// no refinable model) is a no-op returning false.  Must be called from
+  /// the thread driving the search, never from pool workers.
+  virtual bool refine(const CandidateDesign& /*candidate*/,
+                      const EvalResult& /*accurate*/) {
+    return false;
+  }
+
   /// Deprecated shim (one release): forwards to set_exec_context with a
   /// fresh context of `threads` total threads (0 = all hardware threads).
   /// Prefer constructing one ExecContext and sharing it between evaluators.
@@ -87,6 +99,10 @@ class Evaluator {
 struct FastEvaluatorOptions {
   std::size_t predictor_samples = 600;  ///< simulator samples for GP training
   std::uint64_t seed = 99;
+  /// GP factorisation for the performance predictor: kSparse caps each
+  /// model at `inducing_points` inducing rows and unlocks refine().
+  GpBackend predictor_backend = GpBackend::kExact;
+  std::size_t inducing_points = 512;
   /// Step-1 sampling + batch-eval workers; null means serial.
   ExecContextPtr exec = nullptr;
 };
@@ -103,7 +119,9 @@ class FastEvaluator : public Evaluator {
 
   /// Construction from pre-collected samples (lets benches reuse them).
   FastEvaluator(const NetworkSkeleton& skeleton,
-                const std::vector<PerfSample>& samples);
+                const std::vector<PerfSample>& samples,
+                GpBackend predictor_backend = GpBackend::kExact,
+                std::size_t inducing_points = 512);
 
   /// Single-candidate evaluation: always recomputes (the serial baseline).
   EvalResult evaluate(const CandidateDesign& candidate) override;
@@ -114,6 +132,14 @@ class FastEvaluator : public Evaluator {
   /// evaluate() per element.
   std::vector<EvalResult> evaluate_batch(
       std::span<const CandidateDesign> batch) override;
+
+  /// Folds one accurate-simulator result into the latency/energy GP pair
+  /// (O(m^2) per model; sparse predictor backend only — a no-op returning
+  /// false on the exact backend).  Memoized results predate the refinement,
+  /// so the cache is cleared on success: later batches re-predict through
+  /// the refined models.  Coordinator-only, like evaluate_batch.
+  bool refine(const CandidateDesign& candidate,
+              const EvalResult& accurate) override;
 
   void set_exec_context(ExecContextPtr exec) override;
   std::size_t parallelism() const { return exec_->threads(); }

@@ -7,6 +7,7 @@
 #include "core/evaluator.h"
 #include "core/reward.h"
 #include "obs/trace.h"
+#include "predictor/gp.h"
 #include "rl/controller.h"
 #include "rl/reinforce.h"
 #include "util/exec_context.h"
@@ -56,6 +57,28 @@ std::vector<double> SearchLoop::submit(
       result_.trace.push_back({iteration_, reward, evals[j], batch[j]});
     ++iteration_;
   }
+  // Online refinement (coordinator-only, after the bookkeeping loop so it
+  // never changes this batch's rewards): when the iteration counter crosses
+  // a refine_every boundary, the round's best candidate — ties break to the
+  // earliest proposal, so the pick depends only on proposal order — is
+  // scored by the accurate evaluator and folded back into the fast one.
+  // Subsequent batches then predict through the refined models; everything
+  // in the chain is deterministic, so search output stays bit-identical at
+  // any thread count.
+  if (options_.refine_every != 0 && refiner_ != nullptr) {
+    const std::size_t before = iteration_ - batch.size();
+    if (iteration_ / options_.refine_every >
+        before / options_.refine_every) {
+      std::size_t best_j = 0;
+      for (std::size_t j = 1; j < batch.size(); ++j)
+        if (rewards[j] > rewards[best_j]) best_j = j;
+      const EvalResult truth = refiner_->evaluate(batch[best_j]);
+      if (fast_.refine(batch[best_j], truth)) {
+        ++result_.refinements;
+        obs::counter_add("search.refinements");
+      }
+    }
+  }
   obs::counter_add("search.iterations", batch.size());
   obs::counter_add("search.batches");
   return rewards;
@@ -71,6 +94,11 @@ void SearchOptions::validate() const {
   YOSO_REQUIRE(top_n >= 1,
                "SearchOptions: top_n must be >= 1 (the finalist pool feeds "
                "Step 3)");
+  YOSO_REQUIRE(inducing_points >= 1,
+               "SearchOptions: inducing_points must be >= 1");
+  YOSO_REQUIRE(refine_every == 0 || predictor == GpBackend::kSparse,
+               "SearchOptions: refine_every requires the sparse predictor "
+               "backend (the exact GP has no incremental update path)");
 }
 
 SearchResult SearchDriver::run(Evaluator& fast, Evaluator* accurate,
@@ -82,7 +110,8 @@ SearchResult SearchDriver::run(Evaluator& fast, Evaluator* accurate,
     if (accurate != nullptr) accurate->set_exec_context(exec);
   }
   SearchResult result;
-  SearchLoop loop(options_, fast, result);
+  SearchLoop loop(options_, fast, result,
+                  options_.refine_every != 0 ? accurate : nullptr);
   Rng rng(options_.seed ^ rng_salt());
   {
     YOSO_TRACE_SPAN("search.step2_propose");

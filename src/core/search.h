@@ -30,6 +30,7 @@
 #include "core/design_space.h"
 #include "core/evaluator.h"
 #include "core/reward.h"
+#include "predictor/gp.h"
 #include "rl/controller.h"
 #include "rl/reinforce.h"
 #include "util/exec_context.h"
@@ -54,6 +55,19 @@ struct SearchOptions {
   ReinforceOptions reinforce;
   std::uint64_t seed = 7;
   std::size_t batch_size = 1;  ///< candidates proposed & evaluated per round
+  /// Performance-predictor backend the fast evaluator should be built with
+  /// (yoso_cli's --predictor flag lands here so validate() owns the
+  /// contract): kSparse caps the GPs at `inducing_points` inducing rows and
+  /// unlocks online refinement.
+  GpBackend predictor = GpBackend::kExact;
+  std::size_t inducing_points = 512;  ///< sparse-backend inducing-set cap
+  /// Online-refinement cadence: every `refine_every` submitted iterations
+  /// the current round's best candidate is scored by the accurate evaluator
+  /// and folded back into the fast evaluator via Evaluator::refine()
+  /// (O(m^2) GP updates + memo-cache flush).  0 disables refinement.
+  /// Requires the sparse predictor backend — validate() rejects the
+  /// combination with exact, whose refine() is a guaranteed no-op.
+  std::size_t refine_every = 0;
   /// Turns the observability layer on for this run: run() flips
   /// obs::set_enabled(true) before Step 2, so metrics and trace spans record
   /// (docs/OBSERVABILITY.md).  Off by default — instrumentation then costs
@@ -84,6 +98,9 @@ struct SearchResult {
   std::optional<RankedCandidate> best;       ///< best feasible finalist
   double best_fast_reward = -std::numeric_limits<double>::infinity();
   std::size_t iterations_run = 0;
+  /// Accurate-simulator results folded back into the fast evaluator during
+  /// Step 2 (0 unless refine_every was set).
+  std::size_t refinements = 0;
 };
 
 /// Keeps the best-`capacity` *distinct* candidates seen so far, ranked by
@@ -123,11 +140,14 @@ class FinalistPool {
 /// on how the evaluator parallelizes internally.
 class SearchLoop {
  public:
+  /// `refiner` is the accurate evaluator driving online refinement; null
+  /// (or options.refine_every == 0) leaves refinement off.
   SearchLoop(const SearchOptions& options, Evaluator& fast,
-             SearchResult& result)
+             SearchResult& result, Evaluator* refiner = nullptr)
       : options_(options),
         fast_(fast),
         result_(result),
+        refiner_(refiner),
         pool_(options.top_n) {}
 
   /// Evaluates `batch` and applies the bookkeeping for each candidate in
@@ -147,6 +167,7 @@ class SearchLoop {
   const SearchOptions& options_;
   Evaluator& fast_;
   SearchResult& result_;
+  Evaluator* refiner_ = nullptr;
   FinalistPool pool_;
   /// Per-iteration bookkeeping (counters, best-reward, trace emission) is
   /// applied in submission order on the driving thread only; the role guard

@@ -85,6 +85,17 @@ class Cholesky {
   /// log |A| = 2 * sum_i log L_ii, used for GP marginal likelihood.
   double log_determinant() const;
 
+  /// Rewrites the factor in place so it factors A + v v^T.  O(n^2) via the
+  /// classic hyperbolic-rotation sweep; `v` is copied to a function-scope
+  /// workspace and left untouched.  The sweep is a fixed serial loop, so the
+  /// result is bit-identical regardless of thread count or call site.
+  void rank1_update(std::span<const double> v);
+
+  /// Rewrites the factor in place so it factors A - v v^T.  Throws
+  /// std::runtime_error if the downdated matrix is not positive definite
+  /// (the factor is left in an unspecified state in that case).
+  void rank1_downdate(std::span<const double> v);
+
  private:
   Matrix l_;
 };

@@ -34,11 +34,47 @@ double GpRegressor::fit_from_dists(const Matrix& d2,
          0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
 }
 
+void GpRegressor::stamp_train_fingerprint() {
+  // FNV-1a over (n, d, first standardized row, last standardized row).
+  // Cheap (O(d)) yet strong enough to catch the realistic caller bug —
+  // predict_means_pair fed two models fitted on different sample sets.
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](const unsigned char* p, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= static_cast<std::uint64_t>(p[i]);
+      h *= kPrime;
+    }
+  };
+  const std::uint64_t shape[2] = {train_x_.rows(), train_x_.cols()};
+  mix(reinterpret_cast<const unsigned char*>(shape), sizeof(shape));
+  if (train_x_.rows() > 0) {
+    const std::span<const double> first = train_x_.row(0);
+    const std::span<const double> last = train_x_.row(train_x_.rows() - 1);
+    mix(reinterpret_cast<const unsigned char*>(first.data()),
+        first.size_bytes());
+    mix(reinterpret_cast<const unsigned char*>(last.data()),
+        last.size_bytes());
+  }
+  train_fingerprint_ = h;
+}
+
 void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
   YOSO_TRACE_SPAN("gp.fit");
   YOSO_REQUIRE(x.rows() == y.size() && x.rows() > 0,
                "GpRegressor::fit: design matrix is ", x.rows(), "x", x.cols(),
                " but y has ", y.size(), " targets");
+  dist_builds_ = {};
+  updates_applied_ = 0;
+  chol_kmm_.reset();
+  b_.clear();
+  inducing_idx_.clear();
+  if (backend_ == GpBackend::kSparse) {
+    fit_sparse(x, y);
+    stamp_train_fingerprint();
+    return;
+  }
   scaler_.fit(x);
   train_x_ = scaler_.transform(x);
 
@@ -60,10 +96,11 @@ void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
   Matrix d2(n, n);
   kernels::pairwise_sq_dists(train_x_.data().data(), n, packed_train_,
                              d2.data().data(), nullptr);
-  distance_builds_ = 1;
+  dist_builds_.full = 1;
 
   if (!tune_) {
     lml_ = fit_from_dists(d2, yc);
+    stamp_train_fingerprint();
     return;
   }
 
@@ -95,6 +132,7 @@ void GpRegressor::fit(const Matrix& x, std::span<const double> y) {
   alpha_ = std::move(best_alpha);
   chol_ = std::move(best_chol);
   lml_ = best_lml;
+  stamp_train_fingerprint();
 }
 
 void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
@@ -110,8 +148,13 @@ void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
   // self-contained).
   constexpr std::size_t kChunk = 256;
   const std::size_t buf_rows = std::min(kChunk, nq);
+  const bool sparse = backend_ == GpBackend::kSparse;
   std::vector<double> xs(buf_rows * dim);
   std::vector<double> kbuf(buf_rows * n);
+  // The sparse (DTC) variance needs two triangular solves against an
+  // intact kernel row, so it gets a separate per-row solve buffer; the
+  // exact path keeps its in-place solve and allocates nothing extra.
+  std::vector<double> vbuf((var != nullptr && sparse) ? buf_rows * n : 0);
   for (std::size_t lo = 0; lo < nq; lo += kChunk) {
     const std::size_t cnt = std::min(kChunk, nq - lo);
     // Standardize with the exact per-row arithmetic single predict() uses.
@@ -128,7 +171,7 @@ void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
       mu[lo + r] = y_mean_ + kernels::exp_scale_dot(krow, krow, alpha_.data(),
                                                     n, scale,
                                                     hp_.signal_variance);
-      if (var != nullptr) {
+      if (var != nullptr && !sparse) {
         // var = k(x,x) - k*^T K^-1 k*; the solve overwrites krow in place
         // (safe: forward substitution consumes krow[i] before writing it),
         // which keeps the hot per-row lambda allocation-free.
@@ -136,6 +179,19 @@ void GpRegressor::predict_rows(const double* x, std::size_t nq, double* mu,
         const double reduce = kernels::dot(krow, krow, n);
         var[lo + r] = std::max(
             0.0, hp_.signal_variance + hp_.noise_variance - reduce);
+      } else if (var != nullptr) {
+        // DTC predictive variance:
+        //   k** + nv - k^T K_mm^-1 k + nv * k^T A^-1 k
+        // Both quadratic forms come from forward solves into the scratch
+        // row (krow itself must stay intact between them).
+        double* vrow = vbuf.data() + r * n;
+        chol_kmm_->solve_lower_into(std::span<const double>(krow, n), vrow);
+        const double prior_drop = kernels::dot(vrow, vrow, n);
+        chol_->solve_lower_into(std::span<const double>(krow, n), vrow);
+        const double info_gain = kernels::dot(vrow, vrow, n);
+        var[lo + r] = std::max(
+            0.0, hp_.signal_variance + hp_.noise_variance - prior_drop +
+                     hp_.noise_variance * info_gain);
       }
     };
     if (pool != nullptr && pool->workers() > 0 && cnt > 1) {
@@ -183,6 +239,13 @@ void GpRegressor::predict_means_pair(const GpRegressor& a,
                "different training sets (", a.train_x_.rows(), "x",
                a.train_x_.cols(), " vs ", b.train_x_.rows(), "x",
                b.train_x_.cols(), ")");
+  // The shared-panel trick is only sound when both models standardize to
+  // the *same* training rows; the fingerprint (n, d, first/last row bytes)
+  // catches same-shape-different-data callers that the REQUIRE above
+  // cannot.
+  YOSO_DCHECK(a.train_fingerprint_ == b.train_fingerprint_,
+              "GpRegressor::predict_means_pair: training-set fingerprint "
+              "mismatch — the models were fitted on different inputs");
   if (nq == 0) return;
   YOSO_REQUIRE(x != nullptr && mu_a != nullptr && mu_b != nullptr,
                "GpRegressor::predict_means_pair: null input/output");

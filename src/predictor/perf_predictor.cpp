@@ -120,6 +120,20 @@ void PerformancePredictor::fit(const std::vector<PerfSample>& samples) {
   energy_gp_.fit(m.x, log_e);
   latency_gp_.fit(m.x, log_l);
   fitted_ = true;
+  refinements_ = 0;
+}
+
+bool PerformancePredictor::refine(const Genotype& g,
+                                  const AcceleratorConfig& config,
+                                  double latency_ms, double energy_mj) {
+  if (!supports_refinement()) return false;
+  const std::vector<double> f = codesign_features(g, config, skeleton_);
+  // Same log transform as fit(); updating both models with the same input
+  // row keeps their training fingerprints in lockstep.
+  latency_gp_.update(f, std::log(std::max(latency_ms, 1e-9)));
+  energy_gp_.update(f, std::log(std::max(energy_mj, 1e-9)));
+  ++refinements_;
+  return true;
 }
 
 double PerformancePredictor::predict_energy_mj(

@@ -63,11 +63,19 @@ struct SampleMatrix {
 };
 SampleMatrix to_matrix(const std::vector<PerfSample>& samples);
 
-/// The GP pair used inside the search loop.
+/// The GP pair used inside the search loop.  `backend` selects the GP
+/// factorisation: kExact is the paper's O(n^3) fit; kSparse caps both
+/// models at `inducing_points` inducing rows (O(n m^2) fit) and unlocks
+/// refine() — O(m^2) online folding of accurate-simulator results into the
+/// fitted pair during the search.
 class PerformancePredictor {
  public:
-  explicit PerformancePredictor(NetworkSkeleton skeleton)
-      : skeleton_(std::move(skeleton)) {}
+  explicit PerformancePredictor(NetworkSkeleton skeleton,
+                                GpBackend backend = GpBackend::kExact,
+                                std::size_t inducing_points = 512)
+      : skeleton_(std::move(skeleton)),
+        energy_gp_({}, true, backend, inducing_points),
+        latency_gp_({}, true, backend, inducing_points) {}
 
   /// Fits both GPs on simulated samples.
   void fit(const std::vector<PerfSample>& samples);
@@ -100,6 +108,22 @@ class PerformancePredictor {
                                     ThreadPool* pool, double* latency_ms,
                                     double* energy_mj) const;
 
+  /// Folds one accurate-simulator result into both fitted GPs in O(m^2)
+  /// each (log-space targets, matching fit()).  Both models are updated in
+  /// lockstep so the fused predict_latency_energy_batch contract — same
+  /// training inputs — keeps holding.  Returns false (a no-op) when the
+  /// backend has no incremental path (exact) or before fit().
+  bool refine(const Genotype& g, const AcceleratorConfig& config,
+              double latency_ms, double energy_mj);
+
+  /// True when refine() would apply: a fitted sparse-backend pair.
+  bool supports_refinement() const {
+    return latency_gp_.supports_update() && energy_gp_.supports_update();
+  }
+
+  /// Accurate results folded in since the last fit().
+  std::size_t refinements() const { return refinements_; }
+
   bool fitted() const { return fitted_; }
   const NetworkSkeleton& skeleton() const { return skeleton_; }
   const GpRegressor& energy_model() const { return energy_gp_; }
@@ -110,6 +134,7 @@ class PerformancePredictor {
   GpRegressor energy_gp_;
   GpRegressor latency_gp_;
   bool fitted_ = false;
+  std::size_t refinements_ = 0;
 };
 
 }  // namespace yoso
