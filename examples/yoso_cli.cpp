@@ -29,6 +29,13 @@
 //                       observability for the run)
 //   --trace-out  FILE  write Chrome trace_event JSON for chrome://tracing /
 //                      Perfetto (enables observability for the run)
+//   --save-artifact FILE  after Step 1, save the trained fast evaluator as a
+//                      checksummed binary artifact (docs/ARTIFACTS.md) that
+//                      yoso_serve and --load-artifact can reuse
+//   --load-artifact FILE  restore the fast evaluator from an artifact
+//                      instead of training it, skipping Step-1 sample
+//                      collection entirely (--samples/--predictor/
+//                      --inducing-points then come from the artifact)
 //
 // Either observability flag also prints the per-phase cost table
 // (docs/OBSERVABILITY.md) after the results.
@@ -36,6 +43,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "accel/area.h"
@@ -44,6 +52,7 @@
 #include "arch/network.h"
 #include "base/contract.h"
 #include "core/alt_search.h"
+#include "core/artifact.h"
 #include "core/design_space.h"
 #include "core/evaluator.h"
 #include "core/report.h"
@@ -86,6 +95,8 @@ struct CliOptions {
   std::string rtl_file;
   std::string metrics_out;
   std::string trace_out;
+  std::string save_artifact;
+  std::string load_artifact;
 
   bool observe() const { return !metrics_out.empty() || !trace_out.empty(); }
 };
@@ -126,6 +137,8 @@ CliOptions parse_args(int argc, char** argv) {
       else if (key == "rtl") opt.rtl_file = value;
       else if (key == "metrics-out") opt.metrics_out = value;
       else if (key == "trace-out") opt.trace_out = value;
+      else if (key == "save-artifact") opt.save_artifact = value;
+      else if (key == "load-artifact") opt.load_artifact = value;
       else usage_error("unknown flag --" + key);
     } catch (const std::exception&) {
       usage_error("bad value '" + value + "' for --" + key);
@@ -165,6 +178,21 @@ int main(int argc, char** argv) {
   else usage_error("unknown predictor backend '" + cli.predictor + "'");
   options.inducing_points = cli.inducing_points;
   options.refine_every = cli.refine_every;
+
+  // --load-artifact replaces Step 1 wholesale: the predictor backend and
+  // inducing budget recorded in the artifact override the corresponding
+  // flags so validate() (e.g. refine-every-requires-sparse) judges what
+  // will actually run.
+  std::optional<FastEvaluatorArtifact> bundle;
+  if (!cli.load_artifact.empty()) {
+    try {
+      bundle.emplace(load_fast_evaluator_artifact(cli.load_artifact));
+    } catch (const std::exception& e) {
+      usage_error("--load-artifact " + cli.load_artifact + ": " + e.what());
+    }
+    options.predictor = bundle->predictor.latency.backend;
+    options.inducing_points = bundle->predictor.latency.inducing_target;
+  }
   // Reject unusable option combinations before paying for Step 1: the
   // contracts live in SearchOptions::validate(), shared with every driver.
   try {
@@ -174,23 +202,41 @@ int main(int argc, char** argv) {
   }
 
   DesignSpace space;
-  const NetworkSkeleton skeleton = default_skeleton();
+  const NetworkSkeleton skeleton =
+      bundle.has_value() ? bundle->skeleton : default_skeleton();
   SystolicSimulator simulator({}, SimFidelity::kCycleLevel);
 
   // One parallelism knob: a single ExecContext shared by both evaluators
   // (and injected again via run(), which is a no-op re-injection here).
   const ExecContextPtr exec = ExecContext::create(cli.threads);
-  std::cout << "[1/3] building the fast evaluator (" << cli.samples
-            << " simulator samples, " << exec->threads() << " thread(s))...\n";
+  if (bundle.has_value()) {
+    std::cout << "[1/3] restoring the fast evaluator from "
+              << cli.load_artifact << " (" << exec->threads()
+              << " thread(s))...\n";
+  } else {
+    std::cout << "[1/3] building the fast evaluator (" << cli.samples
+              << " simulator samples, " << exec->threads()
+              << " thread(s))...\n";
+  }
   // The evaluator and result objects outlive the phases, so the top-level
   // phase spans use the manual begin/end API rather than a scoped block.
+  // FastEvaluator is non-movable; both branches of the conditional are
+  // prvalues, so `fast` is constructed in place either way.
   obs::begin_span("phase.build_evaluator");
-  FastEvaluator fast(space, skeleton, simulator,
-                     {.predictor_samples = cli.samples,
-                      .seed = cli.seed,
-                      .predictor_backend = options.predictor,
-                      .inducing_points = options.inducing_points,
-                      .exec = exec});
+  FastEvaluator fast =
+      bundle.has_value()
+          ? make_fast_evaluator(*bundle, exec)
+          : FastEvaluator(space, skeleton, simulator,
+                          {.predictor_samples = cli.samples,
+                           .seed = cli.seed,
+                           .predictor_backend = options.predictor,
+                           .inducing_points = options.inducing_points,
+                           .exec = exec});
+  if (!cli.save_artifact.empty()) {
+    save_fast_evaluator(cli.save_artifact, fast, "yoso_cli",
+                        "seed=" + std::to_string(cli.seed));
+    std::cout << "artifact written to " << cli.save_artifact << "\n";
+  }
   AccurateEvaluator accurate(skeleton, SystolicSimulator({},
                                                          SimFidelity::kCycleLevel),
                              exec);

@@ -5,11 +5,13 @@
 
 #include "accel/simulator.h"
 #include "arch/network.h"
+#include "base/contract.h"
 #include "core/design_space.h"
 #include "core/reward.h"
 #include "obs/trace.h"
 #include "predictor/gp.h"
 #include "predictor/perf_predictor.h"
+#include "surrogate/accuracy_model.h"
 #include "util/exec_context.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -61,6 +63,16 @@ FastEvaluator::FastEvaluator(const NetworkSkeleton& skeleton,
       predictor_(skeleton, predictor_backend, inducing_points),
       exec_(ExecContext::serial()) {
   predictor_.fit(samples);
+}
+
+FastEvaluator::FastEvaluator(AccuracyModel accuracy,
+                             PerformancePredictor predictor,
+                             ExecContextPtr exec)
+    : accuracy_(std::move(accuracy)),
+      predictor_(std::move(predictor)),
+      exec_(exec != nullptr ? std::move(exec) : ExecContext::serial()) {
+  YOSO_REQUIRE(predictor_.fitted(),
+               "FastEvaluator: restored predictor is not fitted");
 }
 
 bool FastEvaluator::refine(const CandidateDesign& candidate,

@@ -123,6 +123,14 @@ class FastEvaluator : public Evaluator {
                 GpBackend predictor_backend = GpBackend::kExact,
                 std::size_t inducing_points = 512);
 
+  /// Construction from already-fitted models (the artifact load path,
+  /// core/artifact.h): no Step-1 sample collection or GP fit happens, the
+  /// predictor arrives ready.  An evaluator restored from the artifact a
+  /// fresh build saved evaluates bit-identically to that build
+  /// (ContractViolation when `predictor` is unfitted).
+  FastEvaluator(AccuracyModel accuracy, PerformancePredictor predictor,
+                ExecContextPtr exec = nullptr);
+
   /// Single-candidate evaluation: always recomputes (the serial baseline).
   EvalResult evaluate(const CandidateDesign& candidate) override;
 

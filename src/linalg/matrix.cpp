@@ -131,6 +131,18 @@ Cholesky::Cholesky(const Matrix& a, double jitter) {
   throw std::runtime_error("Cholesky: matrix not positive definite");
 }
 
+Cholesky Cholesky::from_lower(Matrix lower) {
+  YOSO_REQUIRE(!lower.empty() && lower.rows() == lower.cols(),
+               "Cholesky::from_lower: factor must be square and non-empty, "
+               "got ", lower.rows(), "x", lower.cols());
+  for (std::size_t i = 0; i < lower.rows(); ++i)
+    YOSO_REQUIRE(lower(i, i) > 0.0,
+                 "Cholesky::from_lower: non-positive diagonal at row ", i);
+  Cholesky c;
+  c.l_ = std::move(lower);
+  return c;
+}
+
 std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
   std::vector<double> y(l_.rows());
   solve_lower_into(b, y.data());

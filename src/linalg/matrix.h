@@ -66,6 +66,14 @@ class Cholesky {
  public:
   explicit Cholesky(const Matrix& a, double jitter = 1e-10);
 
+  /// Rebuilds a factorisation object from a previously computed lower
+  /// factor (e.g. one round-tripped through the binary artifact format,
+  /// core/artifact.h).  No refactorisation happens: `lower` is adopted
+  /// verbatim, so solves against the restored object are bit-identical to
+  /// solves against the original.  Throws ContractViolation when `lower`
+  /// is empty, non-square, or has a non-positive diagonal entry.
+  static Cholesky from_lower(Matrix lower);
+
   const Matrix& lower() const { return l_; }
 
   /// Solves A x = b via the factorisation.
@@ -97,6 +105,8 @@ class Cholesky {
   void rank1_downdate(std::span<const double> v);
 
  private:
+  Cholesky() = default;  // from_lower() adopts the factor directly
+
   Matrix l_;
 };
 

@@ -7,6 +7,7 @@
 #include "base/contract.h"
 #include "linalg/matrix.h"
 #include "obs/trace.h"
+#include "predictor/regressor.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -321,6 +322,87 @@ std::pair<double, double> GpRegressor::predict_with_variance(
   double var = 0.0;
   predict_rows(x.data(), 1, &mu, &var, nullptr);
   return {mu, var};
+}
+
+GpRegressorState GpRegressor::export_state() const {
+  YOSO_REQUIRE(!alpha_.empty(), "GpRegressor::export_state: not fitted");
+  GpRegressorState s;
+  s.backend = backend_;
+  s.tune = tune_;
+  s.inducing_target = inducing_target_;
+  s.hp = hp_;
+  s.scaler_mean.assign(scaler_.mean().begin(), scaler_.mean().end());
+  s.scaler_std.assign(scaler_.stddev().begin(), scaler_.stddev().end());
+  s.train_x = train_x_;
+  s.alpha = alpha_;
+  s.chol_lower = chol_->lower();
+  if (chol_kmm_ != nullptr) s.chol_kmm_lower = chol_kmm_->lower();
+  s.b = b_;
+  s.inducing_idx = inducing_idx_;
+  s.y_mean = y_mean_;
+  s.lml = lml_;
+  s.updates_applied = updates_applied_;
+  return s;
+}
+
+GpRegressor GpRegressor::from_state(const GpRegressorState& state) {
+  const std::size_t n = state.train_x.rows();
+  const std::size_t d = state.train_x.cols();
+  YOSO_REQUIRE(state.backend == GpBackend::kExact ||
+                   state.backend == GpBackend::kSparse,
+               "GpRegressor::from_state: unknown backend tag");
+  YOSO_REQUIRE(n > 0 && d > 0,
+               "GpRegressor::from_state: empty training panel (", n, "x", d,
+               ")");
+  YOSO_REQUIRE(state.scaler_mean.size() == d && state.scaler_std.size() == d,
+               "GpRegressor::from_state: scaler width ",
+               state.scaler_mean.size(), "/", state.scaler_std.size(),
+               " != panel width ", d);
+  YOSO_REQUIRE(state.alpha.size() == n, "GpRegressor::from_state: alpha has ",
+               state.alpha.size(), " entries for an ", n, "-row panel");
+  YOSO_REQUIRE(state.chol_lower.rows() == n && state.chol_lower.cols() == n,
+               "GpRegressor::from_state: Cholesky factor is ",
+               state.chol_lower.rows(), "x", state.chol_lower.cols(),
+               " for an ", n, "-row panel");
+  YOSO_REQUIRE(state.hp.lengthscale > 0.0 && state.hp.signal_variance > 0.0,
+               "GpRegressor::from_state: non-positive hyper-parameters");
+  if (state.backend == GpBackend::kSparse) {
+    YOSO_REQUIRE(state.chol_kmm_lower.rows() == n &&
+                     state.chol_kmm_lower.cols() == n,
+                 "GpRegressor::from_state: sparse K_mm factor is ",
+                 state.chol_kmm_lower.rows(), "x",
+                 state.chol_kmm_lower.cols(), " for m = ", n);
+    YOSO_REQUIRE(state.b.size() == n,
+                 "GpRegressor::from_state: sparse b has ", state.b.size(),
+                 " entries for m = ", n);
+    YOSO_REQUIRE(state.inducing_idx.size() == n,
+                 "GpRegressor::from_state: ", state.inducing_idx.size(),
+                 " inducing indices for m = ", n);
+  } else {
+    YOSO_REQUIRE(state.chol_kmm_lower.empty() && state.b.empty() &&
+                     state.inducing_idx.empty(),
+                 "GpRegressor::from_state: exact backend carries a sparse "
+                 "tail");
+  }
+
+  GpRegressor gp(state.hp, state.tune, state.backend, state.inducing_target);
+  gp.scaler_ = Standardizer::from_moments(state.scaler_mean, state.scaler_std);
+  gp.train_x_ = state.train_x;
+  gp.packed_train_ =
+      kernels::pack_rows(gp.train_x_.data().data(), n, d);
+  gp.alpha_ = state.alpha;
+  gp.chol_ = std::make_unique<Cholesky>(Cholesky::from_lower(state.chol_lower));
+  if (state.backend == GpBackend::kSparse) {
+    gp.chol_kmm_ = std::make_unique<Cholesky>(
+        Cholesky::from_lower(state.chol_kmm_lower));
+    gp.b_ = state.b;
+    gp.inducing_idx_ = state.inducing_idx;
+  }
+  gp.y_mean_ = state.y_mean;
+  gp.lml_ = state.lml;
+  gp.updates_applied_ = state.updates_applied;
+  gp.stamp_train_fingerprint();
+  return gp;
 }
 
 }  // namespace yoso

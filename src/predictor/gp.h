@@ -57,6 +57,32 @@ struct GpDistanceBuilds {
   std::size_t inducing = 0;  ///< m x m inducing-vs-inducing panels (sparse)
 };
 
+/// The complete fitted state of a GpRegressor, as plain matrices/vectors —
+/// everything the predict/update paths read, nothing derived.  This is the
+/// persistence boundary the binary artifact format (core/artifact.h)
+/// serializes: export_state() -> save, load -> GpRegressor::from_state().
+/// Derived structures (the packed kernel panel, the training fingerprint)
+/// are deliberately absent — from_state() recomputes them with the same
+/// deterministic code fit() runs, so a round-tripped model predicts
+/// bit-identically to the original.
+struct GpRegressorState {
+  GpBackend backend = GpBackend::kExact;
+  bool tune = true;
+  std::size_t inducing_target = 512;
+  GpHyperParams hp;                 ///< tuned values, not the constructor's
+  std::vector<double> scaler_mean;  ///< input scaler moments, d each
+  std::vector<double> scaler_std;
+  Matrix train_x;     ///< standardized training (exact) / inducing (sparse)
+  std::vector<double> alpha;
+  Matrix chol_lower;      ///< exact: chol(K + nv I); sparse: chol(A)
+  Matrix chol_kmm_lower;  ///< sparse only: chol(K_mm); empty for exact
+  std::vector<double> b;  ///< sparse only: K_mn (y - mean) + updates
+  std::vector<std::size_t> inducing_idx;  ///< sparse only, selection order
+  double y_mean = 0.0;
+  double lml = 0.0;
+  std::size_t updates_applied = 0;
+};
+
 class GpRegressor : public Regressor {
  public:
   /// With `tune` true, a small grid search over lengthscale / noise maximises
@@ -118,6 +144,20 @@ class GpRegressor : public Regressor {
   bool supports_update() const {
     return backend_ == GpBackend::kSparse && !alpha_.empty();
   }
+
+  /// Copies the fitted state out for persistence (ContractViolation before
+  /// fit()).  The copy is deep; later update() calls on this model leave
+  /// the exported state untouched.
+  GpRegressorState export_state() const;
+
+  /// Rebuilds a fitted model from exported (or artifact-loaded) state.
+  /// Validates every cross-field shape contract (scaler width vs panel
+  /// width, alpha length, factor squareness, the sparse-only tail) with
+  /// ContractViolation on mismatch, then recomputes the packed kernel panel
+  /// and training fingerprint exactly as fit() would — predict(),
+  /// predict_batch(), predict_means_pair() and update() on the restored
+  /// model are bit-identical to the original.
+  static GpRegressor from_state(const GpRegressorState& state);
 
   GpBackend backend() const { return backend_; }
 

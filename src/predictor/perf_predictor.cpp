@@ -183,4 +183,32 @@ void PerformancePredictor::predict_latency_energy_batch(
   }
 }
 
+PerfPredictorState PerformancePredictor::export_state() const {
+  YOSO_REQUIRE(fitted_, "PerformancePredictor::export_state: not fitted");
+  PerfPredictorState s;
+  s.skeleton = skeleton_;
+  s.latency = latency_gp_.export_state();
+  s.energy = energy_gp_.export_state();
+  s.refinements = refinements_;
+  return s;
+}
+
+PerformancePredictor PerformancePredictor::from_state(
+    const PerfPredictorState& state) {
+  YOSO_REQUIRE(state.latency.backend == state.energy.backend,
+               "PerformancePredictor::from_state: latency/energy models "
+               "disagree on backend");
+  YOSO_REQUIRE(state.latency.train_x.cols() == state.energy.train_x.cols(),
+               "PerformancePredictor::from_state: latency/energy models "
+               "disagree on feature width (", state.latency.train_x.cols(),
+               " vs ", state.energy.train_x.cols(), ")");
+  PerformancePredictor p(state.skeleton, state.latency.backend,
+                         state.latency.inducing_target);
+  p.latency_gp_ = GpRegressor::from_state(state.latency);
+  p.energy_gp_ = GpRegressor::from_state(state.energy);
+  p.fitted_ = true;
+  p.refinements_ = state.refinements;
+  return p;
+}
+
 }  // namespace yoso

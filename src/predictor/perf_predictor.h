@@ -63,6 +63,17 @@ struct SampleMatrix {
 };
 SampleMatrix to_matrix(const std::vector<PerfSample>& samples);
 
+/// The fitted state of a PerformancePredictor: the lockstep latency/energy
+/// GP pair plus the skeleton they were fitted for.  This is what the binary
+/// artifact format (core/artifact.h) persists so Step-1 products become
+/// load-once files shared across search runs.
+struct PerfPredictorState {
+  NetworkSkeleton skeleton;
+  GpRegressorState latency;
+  GpRegressorState energy;
+  std::size_t refinements = 0;
+};
+
 /// The GP pair used inside the search loop.  `backend` selects the GP
 /// factorisation: kExact is the paper's O(n^3) fit; kSparse caps both
 /// models at `inducing_points` inducing rows (O(n m^2) fit) and unlocks
@@ -128,6 +139,17 @@ class PerformancePredictor {
   const NetworkSkeleton& skeleton() const { return skeleton_; }
   const GpRegressor& energy_model() const { return energy_gp_; }
   const GpRegressor& latency_model() const { return latency_gp_; }
+
+  /// Deep-copies the fitted pair out for persistence (ContractViolation
+  /// before fit()).
+  PerfPredictorState export_state() const;
+
+  /// Rebuilds a fitted predictor from exported (or artifact-loaded) state.
+  /// Both GPs are restored through GpRegressor::from_state, so predictions
+  /// — including the fused predict_latency_energy_batch and later refine()
+  /// calls — are bit-identical to the original pair.  ContractViolation
+  /// when the two models disagree on backend or feature width.
+  static PerformancePredictor from_state(const PerfPredictorState& state);
 
  private:
   NetworkSkeleton skeleton_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "base/contract.h"
 #include "linalg/matrix.h"
 
 namespace yoso {
@@ -61,6 +63,22 @@ void Standardizer::transform_row_into(std::span<const double> x,
     throw std::invalid_argument("Standardizer: null output buffer");
   for (std::size_t c = 0; c < x.size(); ++c)
     out[c] = (x[c] - mean_[c]) / std_[c];
+}
+
+Standardizer Standardizer::from_moments(std::vector<double> mean,
+                                        std::vector<double> stddev) {
+  YOSO_REQUIRE(!mean.empty() && mean.size() == stddev.size(),
+               "Standardizer::from_moments: need matching non-empty moment "
+               "vectors, got ", mean.size(), " means and ", stddev.size(),
+               " stddevs");
+  for (std::size_t c = 0; c < stddev.size(); ++c)
+    YOSO_REQUIRE(stddev[c] > 0.0,
+                 "Standardizer::from_moments: non-positive stddev at column ",
+                 c);
+  Standardizer s;
+  s.mean_ = std::move(mean);
+  s.std_ = std::move(stddev);
+  return s;
 }
 
 }  // namespace yoso

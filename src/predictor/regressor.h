@@ -39,6 +39,17 @@ class Standardizer {
   void transform_row_into(std::span<const double> x, double* out) const;
   bool fitted() const { return !mean_.empty(); }
 
+  /// Fitted moments, exposed so fitted models can be persisted
+  /// (core/artifact.h) and rebuilt bit-identically via from_moments().
+  std::span<const double> mean() const { return mean_; }
+  std::span<const double> stddev() const { return std_; }
+
+  /// Rebuilds a fitted scaler from previously exported moments (both spans
+  /// must be the same non-zero length; ContractViolation otherwise).
+  /// transform() on the restored object is bit-identical to the original.
+  static Standardizer from_moments(std::vector<double> mean,
+                                   std::vector<double> stddev);
+
  private:
   std::vector<double> mean_;
   std::vector<double> std_;

@@ -1,0 +1,172 @@
+#include "serve/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/contract.h"
+#include "obs/metrics.h"
+
+namespace yoso {
+namespace serve {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+void JobQueue::refresh_gauges() const {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued) ++queued;
+    if (job.state == JobState::kRunning) ++running;
+  }
+  obs::gauge_set("serve.queue_depth", static_cast<double>(queued));
+  obs::gauge_set("serve.jobs_active", static_cast<double>(running));
+}
+
+std::uint64_t JobQueue::submit(JobSpec spec) {
+  MutexLock lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  JobRecord record;
+  record.id = id;
+  record.spec = std::move(spec);
+  record.state = JobState::kQueued;
+  jobs_.emplace(id, std::move(record));
+  obs::counter_add("serve.jobs_submitted");
+  refresh_gauges();
+  cv_.notify_all();
+  return id;
+}
+
+std::optional<JobRecord> JobQueue::acquire_next() {
+  MutexLock lock(mutex_);
+  while (true) {
+    if (stopped_) return std::nullopt;
+    if (!paused_) {
+      // Highest priority first, FIFO within a priority level: the map
+      // iterates in id (submission) order, so the first strictly-better
+      // candidate wins and ties keep the earliest id.
+      JobRecord* best = nullptr;
+      for (auto& [id, job] : jobs_) {
+        if (job.state != JobState::kQueued) continue;
+        if (best == nullptr || job.spec.priority > best->spec.priority)
+          best = &job;
+      }
+      if (best != nullptr) {
+        best->state = JobState::kRunning;
+        refresh_gauges();
+        return *best;
+      }
+    }
+    mutex_.wait(cv_);
+  }
+}
+
+void JobQueue::complete(std::uint64_t id, JobOutcome outcome) {
+  MutexLock lock(mutex_);
+  const auto it = jobs_.find(id);
+  YOSO_REQUIRE(it != jobs_.end() && it->second.state == JobState::kRunning,
+               "JobQueue::complete: job ", id, " is not running");
+  it->second.state = JobState::kDone;
+  it->second.outcome = std::move(outcome);
+  obs::counter_add("serve.jobs_completed");
+  refresh_gauges();
+  cv_.notify_all();
+}
+
+void JobQueue::fail(std::uint64_t id, const std::string& error) {
+  MutexLock lock(mutex_);
+  const auto it = jobs_.find(id);
+  YOSO_REQUIRE(it != jobs_.end() && it->second.state == JobState::kRunning,
+               "JobQueue::fail: job ", id, " is not running");
+  it->second.state = JobState::kFailed;
+  it->second.error = error;
+  obs::counter_add("serve.jobs_failed");
+  refresh_gauges();
+  cv_.notify_all();
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  MutexLock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kQueued)
+    return false;
+  it->second.state = JobState::kCancelled;
+  obs::counter_add("serve.jobs_cancelled");
+  refresh_gauges();
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<JobRecord> JobQueue::get(std::uint64_t id) const {
+  MutexLock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<JobRecord> JobQueue::list() const {
+  MutexLock lock(mutex_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+void JobQueue::pause() {
+  MutexLock lock(mutex_);
+  paused_ = true;
+}
+
+void JobQueue::resume() {
+  MutexLock lock(mutex_);
+  paused_ = false;
+  cv_.notify_all();
+}
+
+bool JobQueue::paused() const {
+  MutexLock lock(mutex_);
+  return paused_;
+}
+
+void JobQueue::stop() {
+  MutexLock lock(mutex_);
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+void JobQueue::wait_idle() const {
+  MutexLock lock(mutex_);
+  while (!stopped_) {
+    bool busy = false;
+    for (const auto& [id, job] : jobs_)
+      if (job.state == JobState::kQueued || job.state == JobState::kRunning)
+        busy = true;
+    if (!busy) return;
+    mutex_.wait(cv_);
+  }
+}
+
+void JobQueue::restore(JobRecord record) {
+  MutexLock lock(mutex_);
+  YOSO_REQUIRE(jobs_.find(record.id) == jobs_.end(),
+               "JobQueue::restore: duplicate job id ", record.id);
+  // A snapshot taken mid-run holds the job in kRunning with no outcome;
+  // searches are deterministic, so re-queueing replays it to the same
+  // result (SERVING.md documents the replay-from-seed semantics).
+  if (record.state == JobState::kRunning) record.state = JobState::kQueued;
+  next_id_ = std::max(next_id_, record.id + 1);
+  jobs_.emplace(record.id, std::move(record));
+  refresh_gauges();
+  cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace yoso

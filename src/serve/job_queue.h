@@ -1,0 +1,119 @@
+#pragma once
+// The yoso_serve job table: submissions, the priority queue the worker
+// drains, and the terminal results clients poll for (docs/SERVING.md).
+//
+// Scheduling contract: the worker always takes the highest-priority queued
+// job; ties break FIFO (lower id first).  Priorities are taken at submit
+// time and never age.  Cancellation is queue-only — a running job finishes
+// (every job is a deterministic, finite search), which keeps the result
+// table free of torn states.
+//
+// All state lives behind one Mutex; submitters, the worker and the socket
+// threads go through the same methods.  serve.queue_depth / serve.jobs_active
+// gauges track the table from inside the lock, so the metrics endpoint can
+// never show a depth the table never had.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/thread_annotations.h"
+
+namespace yoso {
+namespace serve {
+
+/// What a client asks for (the "job" object of a submit request).
+struct JobSpec {
+  std::string searcher = "rl";      ///< "rl" | "random"
+  std::size_t iterations = 200;     ///< Step-2 proposals
+  std::size_t batch_size = 8;       ///< candidates per proposal round
+  std::size_t top_n = 5;            ///< finalists kept
+  std::uint64_t seed = 7;           ///< search RNG seed
+  std::string reward = "balanced";  ///< "balanced" | "energy" | "latency"
+  double t_lat_ms = 0.0;            ///< latency threshold; <=0 keeps preset
+  double t_eer_mj = 0.0;            ///< energy threshold; <=0 keeps preset
+  int priority = 0;                 ///< higher runs first
+};
+
+/// What a finished job produced.
+struct JobOutcome {
+  bool has_best = false;
+  std::string best_candidate;  ///< serialize_candidate() text
+  double best_reward = 0.0;
+  double accuracy = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  std::size_t iterations_run = 0;
+  std::size_t finalists = 0;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Wire/state-section spelling of a JobState ("queued", "running", ...).
+const char* job_state_name(JobState state);
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::string error;  ///< non-empty iff state == kFailed
+  JobOutcome outcome;
+};
+
+class JobQueue {
+ public:
+  /// Enqueues `spec`; returns the assigned job id (ids are dense,
+  /// monotonically increasing, and survive snapshot/resume).
+  std::uint64_t submit(JobSpec spec);
+
+  /// Blocks until a job is runnable (or the queue is stopped / paused
+  /// empty-handed) and claims it: the returned record is in kRunning state.
+  /// nullopt means the queue was stopped.
+  std::optional<JobRecord> acquire_next();
+
+  /// Terminal transitions for the job the worker holds.
+  void complete(std::uint64_t id, JobOutcome outcome);
+  void fail(std::uint64_t id, const std::string& error);
+
+  /// Cancels a *queued* job; returns false when the id is unknown or the
+  /// job already left the queue.
+  bool cancel(std::uint64_t id);
+
+  std::optional<JobRecord> get(std::uint64_t id) const;
+  std::vector<JobRecord> list() const;
+
+  /// Pause stops the worker from claiming further jobs (the in-flight one
+  /// finishes); resume lets it continue.  Used by the pause/resume ops and
+  /// by tests that need a deterministic multi-job queue state.
+  void pause();
+  void resume();
+  bool paused() const;
+
+  /// Wakes every waiter with "stopped"; acquire_next() then drains to
+  /// nullopt forever.  Idempotent.
+  void stop();
+
+  /// Blocks until no job is queued or running (or the queue is stopped).
+  void wait_idle() const;
+
+  /// Snapshot/resume support: re-inserts a record verbatim (kRunning
+  /// arrivals are re-queued — a deterministic job re-runs to the same
+  /// result) and keeps the id counter ahead of every restored id.
+  void restore(JobRecord record);
+
+ private:
+  void refresh_gauges() const YOSO_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::map<std::uint64_t, JobRecord> jobs_ YOSO_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ YOSO_GUARDED_BY(mutex_) = 1;
+  bool paused_ YOSO_GUARDED_BY(mutex_) = false;
+  bool stopped_ YOSO_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace serve
+}  // namespace yoso

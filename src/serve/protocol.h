@@ -1,0 +1,83 @@
+#pragma once
+// Wire protocol for yoso_serve: newline-delimited JSON request/response
+// (docs/SERVING.md is the operator-facing reference).
+//
+// The parser is deliberately minimal — the full JSON grammar over a
+// std::map-backed object type, no extensions — and *total*: malformed
+// client input returns a parse error string instead of throwing, so a bad
+// request can never take the daemon down.  Objects iterate in key order and
+// dump() emits keys sorted, so every response is byte-stable for a given
+// value (the same property obs::write_metrics_json keeps).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace yoso {
+namespace serve {
+
+/// One JSON value (null / bool / number / string / array / object).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue integer(std::int64_t v) {
+    return number(static_cast<double>(v));
+  }
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  /// Lenient accessors: the fallback comes back when the value has another
+  /// kind, so handlers read optional request fields without branching.
+  bool bool_or(bool fallback) const;
+  double number_or(double fallback) const;
+  std::string string_or(const std::string& fallback) const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+
+  /// Object member assignment (ContractViolation when not an object).
+  void set(const std::string& key, JsonValue value);
+  /// Array append (ContractViolation when not an array).
+  void push(JsonValue value);
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  /// Compact serialization, keys sorted, byte-stable.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Parses one JSON document.  Returns nullopt and fills `*error` (when
+/// non-null) with a one-line diagnostic on malformed input; never throws on
+/// bad bytes.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
+
+/// Standard response envelopes: {"ok":true,...} / {"ok":false,"error":...}.
+JsonValue ok_response();
+JsonValue error_response(const std::string& message);
+
+}  // namespace serve
+}  // namespace yoso

@@ -81,6 +81,9 @@ class AccuracyModel {
 
   const NetworkSkeleton& skeleton() const { return skeleton_; }
   const AccuracyModelParams& params() const { return params_; }
+  /// Residual-stream seed; with skeleton() and params() this fully
+  /// determines the model, which is how core/artifact.h persists it.
+  std::uint64_t seed() const { return seed_; }
 
   /// Fully-trained test error, percent (e.g. 3.05 means 96.95 % accuracy).
   double test_error(const Genotype& g) const;

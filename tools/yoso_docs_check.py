@@ -24,6 +24,18 @@ Checks, all tuned to fail loudly in CI rather than guess:
    mention exactly that flag set — no missing flags, no stale ones (a flag
    documented in README but absent from parse_args fails, and vice versa).
 
+5. Serve-op reference.  The operation table fenced by
+   ``<!-- serve-ops:begin -->`` / ``<!-- serve-ops:end -->`` in
+   ``docs/SERVING.md`` must list exactly the handler names registered with
+   ``register_op("...")`` in ``src/serve/server.cpp``.  Skipped when either
+   file is absent (fixture trees).
+
+6. Artifact-section registry.  The id table fenced by
+   ``<!-- artifact-sections:begin -->`` / ``<!-- artifact-sections:end -->``
+   in ``docs/ARTIFACTS.md`` must list exactly the ``ArtifactSection``
+   enumerators of ``src/core/artifact.h`` — names *and* hex ids.  Skipped
+   when either file is absent.
+
 Usage: tools/yoso_docs_check.py [repo_root]   (exit 0 clean, 1 otherwise)
        tools/yoso_docs_check.py --self-test   (fixture cases under
                                                tools/docs_fixtures/)
@@ -45,6 +57,11 @@ HTML_ANCHOR_RE = re.compile(r"<a\s+(?:name|id)\s*=\s*[\"']([^\"']+)[\"']")
 CLI_KEY_RE = re.compile(r'key == "([a-z][a-z0-9-]*)"')
 HEADER_FLAG_RE = re.compile(r"^//\s+--([a-z][a-z0-9-]*)\b")
 FLAG_TOKEN_RE = re.compile(r"--([a-z][a-z0-9-]*)")
+SERVE_OP_RE = re.compile(r'register_op\("([a-z_]+)"')
+DOC_OP_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`\s*\|")
+ENUM_SECTION_RE = re.compile(r"^\s*k(\w+)\s*=\s*(0x[0-9a-fA-F]+)\s*,")
+DOC_SECTION_ROW_RE = re.compile(
+    r"^\|\s*`(0x[0-9a-fA-F]+)`\s*\|\s*`k(\w+)`\s*\|")
 
 
 def markdown_files(root: Path) -> list[Path]:
@@ -193,8 +210,96 @@ def check_flags(root: Path) -> list[str]:
     return errors
 
 
+def marker_region(text: str, name: str) -> str | None:
+    begin = text.find(f"<!-- {name}:begin -->")
+    end = text.find(f"<!-- {name}:end -->")
+    if begin < 0 or end < 0 or end < begin:
+        return None
+    return text[begin:end]
+
+
+def check_serve_ops(root: Path) -> list[str]:
+    """docs/SERVING.md's op table vs the register_op() calls in the
+    server.  Skips when either side is absent so fixture trees (and
+    hypothetical serve-less checkouts) stay checkable."""
+    server = root / "src" / "serve" / "server.cpp"
+    doc = root / "docs" / "SERVING.md"
+    if not server.exists() or not doc.exists():
+        return []
+    registered = set(SERVE_OP_RE.findall(server.read_text()))
+    if not registered:
+        return [f"{server.relative_to(root)}: found no register_op(\"...\") "
+                "calls — has the dispatch table been restructured?"]
+    region = marker_region(doc.read_text(), "serve-ops")
+    if region is None:
+        return ["docs/SERVING.md: missing <!-- serve-ops:begin/end --> "
+                "markers around the operation table"]
+    documented = set()
+    for line in region.splitlines():
+        m = DOC_OP_ROW_RE.match(line)
+        if m:
+            documented.add(m.group(1))
+    errors = []
+    for op in sorted(registered - documented):
+        errors.append(f"docs/SERVING.md: op table is missing `{op}` "
+                      "(registered in src/serve/server.cpp)")
+    for op in sorted(documented - registered):
+        errors.append(f"docs/SERVING.md: op table lists `{op}`, which "
+                      "src/serve/server.cpp does not register")
+    return errors
+
+
+def check_artifact_sections(root: Path) -> list[str]:
+    """docs/ARTIFACTS.md's section-id registry vs the ArtifactSection enum
+    — both the names and the hex ids must agree.  Skips when either side
+    is absent (fixture trees)."""
+    header = root / "src" / "core" / "artifact.h"
+    doc = root / "docs" / "ARTIFACTS.md"
+    if not header.exists() or not doc.exists():
+        return []
+    in_enum = False
+    declared: dict[str, int] = {}
+    for line in header.read_text().splitlines():
+        if "enum class ArtifactSection" in line:
+            in_enum = True
+            continue
+        if in_enum:
+            if line.strip().startswith("};"):
+                break
+            m = ENUM_SECTION_RE.match(line)
+            if m:
+                declared[m.group(1)] = int(m.group(2), 16)
+    if not declared:
+        return [f"{header.relative_to(root)}: could not parse the "
+                "ArtifactSection enum — has it been restructured?"]
+    region = marker_region(doc.read_text(), "artifact-sections")
+    if region is None:
+        return ["docs/ARTIFACTS.md: missing <!-- artifact-sections:"
+                "begin/end --> markers around the section-id table"]
+    documented: dict[str, int] = {}
+    for line in region.splitlines():
+        m = DOC_SECTION_ROW_RE.match(line)
+        if m:
+            documented[m.group(2)] = int(m.group(1), 16)
+    errors = []
+    for name in sorted(set(declared) - set(documented)):
+        errors.append(f"docs/ARTIFACTS.md: section table is missing "
+                      f"`k{name}` (declared in src/core/artifact.h)")
+    for name in sorted(set(documented) - set(declared)):
+        errors.append(f"docs/ARTIFACTS.md: section table lists `k{name}`, "
+                      "which src/core/artifact.h does not declare")
+    for name in sorted(set(declared) & set(documented)):
+        if declared[name] != documented[name]:
+            errors.append(
+                f"docs/ARTIFACTS.md: `k{name}` documented as "
+                f"0x{documented[name]:02x} but declared as "
+                f"0x{declared[name]:02x} in src/core/artifact.h")
+    return errors
+
+
 def check_tree(root: Path) -> list[str]:
-    return check_links(root) + check_flags(root)
+    return (check_links(root) + check_flags(root) + check_serve_ops(root) +
+            check_artifact_sections(root))
 
 
 def run_self_test(script_dir: Path) -> int:

@@ -1,0 +1,218 @@
+// yoso_serve — long-running co-search daemon over a trained artifact.
+//
+// Loads ONE checksummed artifact (produced by `yoso_cli --save-artifact`,
+// format: docs/ARTIFACTS.md), then serves search jobs over an AF_UNIX
+// socket speaking newline-delimited JSON (protocol: docs/SERVING.md).
+// Results are bit-identical to running the same search in-process against
+// the same artifact.
+//
+// Flags:
+//   --artifact <path>          artifact to serve (required)
+//   --socket <path>            AF_UNIX socket path
+//                              (default /tmp/yoso_serve.sock)
+//   --threads <n>              evaluation thread budget (default 1)
+//   --paused                   start with the job queue paused
+//   --snapshot-on-exit <path>  write a job-table snapshot artifact on
+//                              graceful shutdown
+//   --smoke                    self-test: serve one job end-to-end over the
+//                              real socket, scrape /metrics, exit 0 on
+//                              success (used by CI)
+//
+// Graceful shutdown: send {"op":"shutdown"} over the socket.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace {
+
+using yoso::serve::JsonValue;
+using yoso::serve::parse_json;
+
+struct ServeCli {
+  std::string artifact;
+  std::string socket_path = "/tmp/yoso_serve.sock";
+  std::size_t threads = 1;
+  bool paused = false;
+  std::string snapshot_on_exit;
+  bool smoke = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "yoso_serve: " << message << "\n"
+            << "usage: yoso_serve --artifact <path> [--socket <path>] "
+               "[--threads <n>] [--paused] [--snapshot-on-exit <path>] "
+               "[--smoke]\n";
+  std::exit(2);
+}
+
+ServeCli parse_args(int argc, char** argv) {
+  ServeCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + key);
+      return argv[++i];
+    };
+    if (key == "--artifact") {
+      cli.artifact = value();
+    } else if (key == "--socket") {
+      cli.socket_path = value();
+    } else if (key == "--threads") {
+      cli.threads = std::stoul(value());
+    } else if (key == "--paused") {
+      cli.paused = true;
+    } else if (key == "--snapshot-on-exit") {
+      cli.snapshot_on_exit = value();
+    } else if (key == "--smoke") {
+      cli.smoke = true;
+    } else {
+      usage_error("unknown flag '" + key + "'");
+    }
+  }
+  if (cli.artifact.empty()) usage_error("--artifact is required");
+  return cli;
+}
+
+// --- Minimal blocking client (smoke mode drives the real socket path) -------
+
+class SmokeClient {
+ public:
+  explicit SmokeClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~SmokeClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  /// One round trip: sends `line` + '\n', reads one response line.
+  std::optional<std::string> round_trip(const std::string& line) {
+    if (fd_ < 0) return std::nullopt;
+    const std::string out = line + "\n";
+    if (::send(fd_, out.data(), out.size(), 0) !=
+        static_cast<ssize_t>(out.size()))
+      return std::nullopt;
+    return read_until("\n");
+  }
+
+  /// Reads until `stop` appears (or EOF); returns everything read.
+  std::optional<std::string> read_until(const std::string& stop) {
+    std::string buffer;
+    char chunk[4096];
+    while (buffer.find(stop) == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0) return std::nullopt;
+      if (n == 0) break;  // EOF: the metrics endpoint closes after writing
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    return buffer;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+int fail_smoke(const std::string& why) {
+  std::cerr << "yoso_serve --smoke: FAIL: " << why << "\n";
+  return 1;
+}
+
+int run_smoke(yoso::serve::SearchService& service,
+              yoso::serve::SearchServer& server) {
+  // 1. Submit one small job over the real socket.
+  SmokeClient client(server.socket_path());
+  if (!client.ok()) return fail_smoke("cannot connect to socket");
+  const std::optional<std::string> submitted = client.round_trip(
+      R"({"op":"submit","job":{"searcher":"random","iterations":40,)"
+      R"("batch":8,"top_n":3,"seed":11}})");
+  if (!submitted.has_value()) return fail_smoke("submit round trip failed");
+  const std::optional<JsonValue> sub = parse_json(*submitted);
+  if (!sub.has_value() || !sub->get("ok") || !sub->get("ok")->bool_or(false))
+    return fail_smoke("submit rejected: " + *submitted);
+  const std::uint64_t job_id = static_cast<std::uint64_t>(
+      sub->get("job_id") != nullptr ? sub->get("job_id")->number_or(0) : 0);
+
+  // 2. Wait for completion (the job is tiny; wait_idle blocks until the
+  //    worker drains the queue), then fetch the result over the socket.
+  service.wait_idle();
+  const std::optional<std::string> result = client.round_trip(
+      R"({"op":"result","job_id":)" + std::to_string(job_id) + "}");
+  if (!result.has_value()) return fail_smoke("result round trip failed");
+  const std::optional<JsonValue> res = parse_json(*result);
+  if (!res.has_value() || !res->get("ok") || !res->get("ok")->bool_or(false))
+    return fail_smoke("result not ok: " + *result);
+  if (res->get("result") == nullptr ||
+      res->get("result")->get("best") == nullptr)
+    return fail_smoke("result carries no best candidate: " + *result);
+
+  // 3. Scrape the metrics endpoint the way an operator would (HTTP-style
+  //    GET on a fresh connection) and require live serve.* counters.
+  SmokeClient scraper(server.socket_path());
+  if (!scraper.ok()) return fail_smoke("cannot reconnect for /metrics");
+  const std::optional<std::string> exposition =
+      scraper.round_trip("GET /metrics HTTP/1.0");
+  if (!exposition.has_value()) return fail_smoke("metrics scrape failed");
+  const std::string& text = *exposition;
+  for (const char* needle :
+       {"serve.jobs_submitted 1", "serve.jobs_completed 1",
+        "serve.requests", "serve.batch_occupancy_count"}) {
+    if (text.find(needle) == std::string::npos)
+      return fail_smoke(std::string("metrics exposition missing '") +
+                        needle + "'");
+  }
+  std::cout << "yoso_serve --smoke: OK (job " << job_id
+            << " served end-to-end; serve.* metrics live)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeCli cli = parse_args(argc, argv);
+  try {
+    yoso::serve::SearchService service(
+        cli.artifact, {.threads = cli.threads, .start_paused = cli.paused});
+    yoso::serve::SearchServer server(service, cli.socket_path);
+    if (cli.smoke) {
+      const int rc = run_smoke(service, server);
+      server.stop();
+      service.stop();
+      return rc;
+    }
+    std::cout << "yoso_serve: serving '" << cli.artifact << "' on "
+              << cli.socket_path << " (threads=" << cli.threads
+              << (cli.paused ? ", paused" : "") << ")\n";
+    server.wait_shutdown();
+    service.wait_idle();
+    if (!cli.snapshot_on_exit.empty()) {
+      service.snapshot_to(cli.snapshot_on_exit);
+      std::cout << "yoso_serve: snapshot written to " << cli.snapshot_on_exit
+                << "\n";
+    }
+    server.stop();
+    service.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "yoso_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
